@@ -1,0 +1,94 @@
+// Command calibrate runs one architecture on one scene/bounce at a
+// chosen scale and prints the key statistics, for model calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bvh"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kernels"
+	"repro/internal/render"
+	"repro/internal/scene"
+)
+
+func main() {
+	var (
+		bench  = flag.String("scene", "conference", "scene")
+		tris   = flag.Int("tris", 30000, "triangle budget")
+		bounce = flag.Int("bounce", 2, "bounce number")
+		width  = flag.Int("w", 320, "render width")
+		height = flag.Int("h", 240, "render height")
+		spp    = flag.Int("spp", 1, "samples per pixel")
+		smx    = flag.Int("smx", 15, "number of SMXs")
+		maxr   = flag.Int("rays", 0, "cap ray count (0 = all)")
+		bindT  = flag.Int("bind", 0, "DRS bind threshold (0 = default)")
+	)
+	flag.Parse()
+	var b scene.Benchmark
+	for _, cand := range scene.Benchmarks {
+		if cand.String() == *bench {
+			b = cand
+		}
+	}
+	s := scene.Generate(b, *tris)
+	bv, err := bvh.Build(s.Tris, bvh.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	cam := render.CameraFor(b, *width, *height)
+	res, err := render.Render(s, bv, cam, render.Config{
+		Width: *width, Height: *height, SamplesPerPixel: *spp, MaxDepth: 8, CaptureTraces: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rays := res.Traces.Bounce(*bounce).Rays
+	if *maxr > 0 && len(rays) > *maxr {
+		rays = rays[:*maxr]
+	}
+	data := kernels.NewSceneData(bv)
+	opt := harness.DefaultOptions()
+	opt.Simt.NumSMX = *smx
+	opt.Simt.MaxCycles = 1 << 26
+	opt.DRS.BindThreshold = *bindT
+	fmt.Printf("scene=%s tris=%d bounce=%d rays=%d coherence=%.3f\n",
+		b, len(s.Tris), *bounce, len(rays), res.Traces.Bounce(*bounce).Coherence(32))
+	ideal := flag.Lookup("ideal") != nil
+	_ = ideal
+	for _, run := range []struct {
+		name  string
+		arch  harness.Arch
+		ideal bool
+	}{{"aila", harness.ArchAila, false}, {"drs", harness.ArchDRS, false}, {"drs-i", harness.ArchDRS, true}} {
+		arch := run.arch
+		opt.DRS.Ideal = run.ideal
+		r, err := harness.Run(arch, rays, data, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v: %v\n", arch, err)
+			continue
+		}
+		st := r.GPU.Stats
+		bd := st.UtilizationBreakdown(32)
+		fmt.Printf("%-5s Mrays=%7.1f eff=%.3f cycles=%d instrs=%d issueUtil=%.3f ctrlStall=%.3f W25:32=%.2f W1:8=%.2f l1tMiss=%.3f rfShuffle=%.3f\n",
+			run.name, r.Mrays, r.SIMDEff, st.Cycles, st.WarpInstrs,
+			float64(st.IssueSlotsUsed)/float64(st.IssueSlotsTotal),
+			st.CtrlStallRate(), bd.W25to32, bd.W1to8,
+			r.GPU.L1TexMissRate, r.GPU.RFShuffleShare)
+		tot := st.SampledExec + st.SampledGate + st.SampledMem + st.SampledParked + st.SampledDone
+		if tot > 0 {
+			fmt.Printf("      census: exec=%.2f gate=%.2f mem=%.2f parked=%.2f done=%.2f\n",
+				float64(st.SampledExec)/float64(tot), float64(st.SampledGate)/float64(tot),
+				float64(st.SampledMem)/float64(tot), float64(st.SampledParked)/float64(tot),
+				float64(st.SampledDone)/float64(tot))
+		}
+		if arch == harness.ArchDRS {
+			fmt.Printf("      drs: remaps=%d swaps=%d meanSwap=%.1f\n",
+				r.DRS.Remaps, r.DRS.SwapsCompleted, r.DRS.MeanSwapCycles())
+		}
+	}
+	_ = core.DefaultConfig
+}

@@ -1,0 +1,134 @@
+// Command drsbench regenerates the paper's tables and figures on the
+// simulated GPU. Each experiment prints the rows of the corresponding
+// paper artifact; -exp selects which one (or "all").
+//
+// Scale flags trade fidelity for runtime: the defaults finish in
+// minutes; -paper approaches the paper's 2M-ray workloads.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/scene"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|all")
+		tris   = flag.Int("tris", 20000, "triangle budget per scene (0 = paper full scale)")
+		width  = flag.Int("w", 320, "trace render width")
+		height = flag.Int("h", 240, "trace render height")
+		spp    = flag.Int("spp", 1, "samples per pixel for trace generation")
+		rays   = flag.Int("rays", 0, "cap rays per bounce (0 = no cap)")
+		smx    = flag.Int("smx", 0, "SMX count override (0 = Table 1's 15)")
+		sweepB = flag.Int("sweepbounces", 4, "bounces for the fig8/table2 sweeps")
+		cmpB   = flag.Int("cmpbounces", 3, "per-bounce rows for fig10/fig11")
+		scen   = flag.String("scene", "", "restrict to one scene (conference|fairy|sponza|plants)")
+		paper  = flag.Bool("paper", false, "use paper-scale parameters (slow)")
+		asJSON = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *paper {
+		p = experiments.PaperParams()
+	}
+	if *tris != 20000 || !*paper {
+		p.Tris = *tris
+	}
+	if !*paper {
+		p.Width, p.Height, p.SPP = *width, *height, *spp
+		p.MaxRaysPerBounce = *rays
+	}
+	if *smx > 0 {
+		p.Options.Simt.NumSMX = *smx
+	}
+	var scenes []scene.Benchmark
+	if *scen != "" {
+		for _, b := range scene.Benchmarks {
+			if b.String() == *scen {
+				scenes = []scene.Benchmark{b}
+			}
+		}
+		if scenes == nil {
+			fmt.Fprintf(os.Stderr, "unknown scene %q\n", *scen)
+			os.Exit(2)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+	start := time.Now()
+
+	if want("table1") {
+		fmt.Println(experiments.Table1(p))
+		ran = true
+	}
+	if want("overhead") {
+		fmt.Println(experiments.Overhead(core.DefaultConfig()))
+		ran = true
+	}
+	emit := func(name string, cells any, text func() string) {
+		if *asJSON {
+			out, err := json.MarshalIndent(map[string]any{"experiment": name, "cells": cells}, "", "  ")
+			exitOn(err)
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Println(text())
+	}
+	if want("fig2") {
+		rows, err := experiments.Figure2(p)
+		exitOn(err)
+		emit("fig2", rows, func() string { return experiments.RenderFigure2(rows) })
+		ran = true
+	}
+	if want("fig8") || want("fig9") {
+		cells, err := experiments.Figure8(p, *sweepB, scenes)
+		exitOn(err)
+		if want("fig8") {
+			emit("fig8", cells, func() string { return experiments.RenderFigure8(cells, *sweepB) })
+		}
+		if want("fig9") {
+			emit("fig9", cells, func() string { return experiments.RenderFigure9(cells, *sweepB) })
+		}
+		ran = true
+	}
+	if want("table2") {
+		cells, err := experiments.Table2(p, *sweepB, scenes)
+		exitOn(err)
+		emit("table2", cells, func() string { return experiments.RenderTable2(cells, *sweepB) })
+		ran = true
+	}
+	if want("fig10") || want("fig11") {
+		cells, err := experiments.Figure10(p, *cmpB, scenes)
+		exitOn(err)
+		if want("fig10") {
+			emit("fig10", cells, func() string { return experiments.RenderFigure10(cells, *cmpB) })
+		}
+		if want("fig11") {
+			emit("fig11", cells, func() string { return experiments.RenderFigure11(cells, *cmpB) })
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead all\n", *exp)
+		os.Exit(2)
+	}
+	if *exp == "all" {
+		fmt.Printf("completed in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drsbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command tracegen renders a benchmark scene with the CPU path tracer
+// and writes per-bounce ray trace streams to disk, mirroring the
+// paper's methodology of capturing ray traces and streaming them into
+// the traversal kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bvh"
+	"repro/internal/render"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		scen   = flag.String("scene", "conference", "scene: conference|fairy|sponza|plants")
+		tris   = flag.Int("tris", 20000, "triangle budget (0 = paper full scale)")
+		width  = flag.Int("w", 320, "render width")
+		height = flag.Int("h", 240, "render height")
+		spp    = flag.Int("spp", 1, "samples per pixel")
+		outDir = flag.String("o", "traces", "output directory")
+	)
+	flag.Parse()
+
+	var bench scene.Benchmark
+	found := false
+	for _, b := range scene.Benchmarks {
+		if b.String() == *scen {
+			bench, found = b, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scene %q\n", *scen)
+		os.Exit(2)
+	}
+
+	s := scene.Generate(bench, *tris)
+	bv, err := bvh.Build(s.Tris, bvh.DefaultOptions())
+	exitOn(err)
+	cam := render.CameraFor(bench, *width, *height)
+	res, err := render.Render(s, bv, cam, render.Config{
+		Width: *width, Height: *height, SamplesPerPixel: *spp,
+		MaxDepth: trace.MaxBounces, CaptureTraces: true,
+	})
+	exitOn(err)
+
+	exitOn(os.MkdirAll(*outDir, 0o755))
+	for b := 1; b <= trace.MaxBounces; b++ {
+		st := res.Traces.Bounce(b)
+		if len(st.Rays) == 0 {
+			continue
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("%s_b%d.rays", bench, b))
+		f, err := os.Create(path)
+		exitOn(err)
+		err = st.Write(f)
+		cerr := f.Close()
+		exitOn(err)
+		exitOn(cerr)
+		fmt.Printf("%s: %d rays (coherence %.3f)\n", path, len(st.Rays), st.Coherence(32))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

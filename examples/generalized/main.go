@@ -1,0 +1,83 @@
+// Generalized demonstrates the paper's future-work sketch (§4.6):
+// applying dynamic data shuffling to a divergent workload that has
+// nothing to do with rays. A Monte Carlo task automaton (three phases
+// with data-dependent durations) runs twice on the simulated GPU —
+// once with fixed warp-to-task mapping, once under the generalized
+// shuffler — and the SIMD efficiencies are compared, including a sweep
+// of the §4.6 "release a warp once utilization is improved to some
+// extent" relaxation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gshuffle"
+	"repro/internal/memsys"
+	"repro/internal/simt"
+)
+
+func run(cfg gshuffle.Config, shuffle bool) (simt.Stats, gshuffle.Stats) {
+	a := gshuffle.NewAutomaton(cfg, 42)
+	scfg := simt.DefaultConfig()
+	scfg.NumSMX = 1
+	scfg.MaxWarpsPerSMX = cfg.Warps
+	scfg.MaxCycles = 1 << 24
+	l2 := memsys.NewL2(scfg.Mem)
+
+	hooks := simt.Hooks{
+		Gate: func(s *simt.SMX, warp int, now int64) simt.GateResult {
+			if !a.WorkLeft() {
+				return simt.GateExit
+			}
+			return simt.GateProceed
+		},
+	}
+	var ctrl *gshuffle.Control
+	if shuffle {
+		var err error
+		ctrl, err = gshuffle.NewControl(cfg, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hooks = ctrl.Hooks()
+	}
+	smx, err := simt.NewSMX(0, scfg, a, hooks, l2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shuffle {
+		ctrl.Launch(smx)
+	} else {
+		smx.LaunchAll(0)
+	}
+	st, err := smx.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cs gshuffle.Stats
+	if ctrl != nil {
+		cs = ctrl.Stats()
+	}
+	return st, cs
+}
+
+func main() {
+	cfg := gshuffle.DefaultConfig()
+	base, _ := run(cfg, false)
+	fmt.Printf("fixed mapping:   SIMD efficiency %5.1f%%  %6d cycles\n",
+		base.SIMDEfficiency(cfg.WarpSize)*100, base.Cycles)
+
+	for _, frac := range []float64{1.0, 0.75, 0.5} {
+		c := cfg
+		c.ReleaseFraction = frac
+		st, cs := run(c, true)
+		fmt.Printf("shuffled @%.2f:  SIMD efficiency %5.1f%%  %6d cycles (%.2fx, %d swaps, %d partial binds)\n",
+			frac, st.SIMDEfficiency(c.WarpSize)*100, st.Cycles,
+			float64(base.Cycles)/float64(st.Cycles), cs.SwapsCompleted, cs.PartialBinds)
+	}
+	fmt.Println("\nThe same machinery that shuffles rays lifts any phase-divergent task system —")
+	fmt.Println("the paper's §4.6 generalization. The release fraction trades uniformity against")
+	fmt.Println("warp-release latency: 1.00 behaves like the DRS (purest rows), a moderate 0.75")
+	fmt.Println("releases warps earlier and wins overall, and 0.50 gives the gains back.")
+}

@@ -1,0 +1,142 @@
+package bsdf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/scene"
+	"repro/internal/vec"
+)
+
+func TestCosineSampleHemisphereAboveSurface(t *testing.T) {
+	p := rng.NewPCG32(1, 1)
+	normals := []vec.V3{
+		vec.New(0, 1, 0), vec.New(0, 0, 1), vec.New(1, 0, 0),
+		vec.New(0.3, 0.6, -0.5).Norm(),
+	}
+	for _, n := range normals {
+		for i := 0; i < 500; i++ {
+			d := CosineSampleHemisphere(n, p.Float32(), p.Float32())
+			if d.Dot(n) < -1e-4 {
+				t.Fatalf("sample below surface: n=%v d=%v", n, d)
+			}
+			if l := d.Len(); l < 0.99 || l > 1.01 {
+				t.Fatalf("sample not unit: %v", l)
+			}
+		}
+	}
+}
+
+func TestCosineSampleMeanCos(t *testing.T) {
+	// For cosine-weighted sampling, E[cos theta] = 2/3.
+	p := rng.NewPCG32(3, 5)
+	n := vec.New(0, 1, 0)
+	var sum float64
+	const N = 50000
+	for i := 0; i < N; i++ {
+		d := CosineSampleHemisphere(n, p.Float32(), p.Float32())
+		sum += float64(d.Dot(n))
+	}
+	mean := sum / N
+	if math.Abs(mean-2.0/3.0) > 0.01 {
+		t.Errorf("mean cos = %v, want ~0.667", mean)
+	}
+}
+
+func TestMirrorReflects(t *testing.T) {
+	m := scene.Material{Kind: scene.Mirror, Albedo: vec.New(0.9, 0.9, 0.9)}
+	n := vec.New(0, 1, 0)
+	wi := vec.New(1, -1, 0).Norm()
+	s := SampleBSDF(m, n, wi, 0.5, 0.5)
+	if !s.OK {
+		t.Fatalf("mirror sample failed")
+	}
+	want := vec.New(1, 1, 0).Norm()
+	if s.Dir.Sub(want).Len() > 1e-5 {
+		t.Errorf("mirror dir = %v, want %v", s.Dir, want)
+	}
+	if s.Weight != m.Albedo {
+		t.Errorf("mirror weight = %v", s.Weight)
+	}
+}
+
+func TestLambertAboveSurface(t *testing.T) {
+	m := scene.Material{Kind: scene.Diffuse, Albedo: vec.New(0.5, 0.5, 0.5)}
+	p := rng.NewPCG32(9, 2)
+	n := vec.New(0, 0, 1)
+	wi := vec.New(0.3, 0.2, -0.9).Norm()
+	ok := 0
+	for i := 0; i < 1000; i++ {
+		s := SampleBSDF(m, n, wi, p.Float32(), p.Float32())
+		if s.OK {
+			ok++
+			if s.Dir.Dot(n) < -1e-4 {
+				t.Fatalf("diffuse sample below surface")
+			}
+		}
+	}
+	if ok < 990 {
+		t.Errorf("too many rejected diffuse samples: %d/1000 ok", ok)
+	}
+}
+
+func TestGlossyLobeAroundMirror(t *testing.T) {
+	m := scene.Material{Kind: scene.Glossy, Albedo: vec.New(0.7, 0.7, 0.7), Roughness: 0.2}
+	p := rng.NewPCG32(4, 8)
+	n := vec.New(0, 1, 0)
+	wi := vec.New(1, -1, 0).Norm()
+	mirror := vec.Reflect(wi, n).Norm()
+	var sumCos float64
+	cnt := 0
+	for i := 0; i < 2000; i++ {
+		s := SampleBSDF(m, n, wi, p.Float32(), p.Float32())
+		if !s.OK {
+			continue
+		}
+		cnt++
+		sumCos += float64(s.Dir.Dot(mirror))
+		if s.Dir.Dot(n) < -1e-4 {
+			t.Fatalf("glossy sample below surface")
+		}
+	}
+	if cnt == 0 {
+		t.Fatalf("all glossy samples rejected")
+	}
+	if mean := sumCos / float64(cnt); mean < 0.9 {
+		t.Errorf("glossy lobe too wide for roughness 0.2: mean cos to mirror = %v", mean)
+	}
+}
+
+func TestGlossyRougherIsWider(t *testing.T) {
+	width := func(rough float32) float64 {
+		m := scene.Material{Kind: scene.Glossy, Albedo: vec.Splat(0.7), Roughness: rough}
+		p := rng.NewPCG32(4, 8)
+		n := vec.New(0, 1, 0)
+		wi := vec.New(1, -1, 0).Norm()
+		mirror := vec.Reflect(wi, n).Norm()
+		var sum float64
+		cnt := 0
+		for i := 0; i < 4000; i++ {
+			s := SampleBSDF(m, n, wi, p.Float32(), p.Float32())
+			if s.OK {
+				sum += float64(s.Dir.Dot(mirror))
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	tight := width(0.1)
+	wide := width(0.8)
+	if tight <= wide {
+		t.Errorf("expected tighter lobe for lower roughness: %v vs %v", tight, wide)
+	}
+}
+
+func TestEmissiveAbsorbs(t *testing.T) {
+	m := scene.Material{Kind: scene.Emissive, Emission: vec.Splat(5)}
+	s := SampleBSDF(m, vec.New(0, 1, 0), vec.New(0, -1, 0), 0.3, 0.4)
+	if s.OK {
+		t.Errorf("emissive should not scatter")
+	}
+}

@@ -1,0 +1,193 @@
+package bvh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// BuildLBVH constructs a linear BVH by sorting triangles along a
+// 30-bit Morton curve and splitting ranges at the highest differing
+// bit (Lauterbach et al. / Karras-style). LBVHs build much faster than
+// binned SAH but trace slower — the classic build-speed/trace-speed
+// trade-off; the benchmarks quantify it on this codebase.
+func BuildLBVH(tris []geom.Triangle, maxLeafSize int) (*BVH, error) {
+	if len(tris) == 0 {
+		return nil, fmt.Errorf("bvh: empty triangle list")
+	}
+	if maxLeafSize <= 0 {
+		maxLeafSize = DefaultOptions().MaxLeafSize
+	}
+	// Scene bounds for Morton quantization.
+	world := geom.EmptyAABB()
+	for _, t := range tris {
+		world = world.Union(t.Bounds())
+	}
+	diag := world.Diagonal()
+	inv := func(d float32) float32 {
+		if d <= 0 {
+			return 0
+		}
+		return 1 / d
+	}
+	sx, sy, sz := inv(diag.X), inv(diag.Y), inv(diag.Z)
+
+	prims := make([]mortonPrim, len(tris))
+	for i, t := range tris {
+		c := t.Centroid()
+		mx := uint32(clamp01((c.X-world.Min.X)*sx) * 1023)
+		my := uint32(clamp01((c.Y-world.Min.Y)*sy) * 1023)
+		mz := uint32(clamp01((c.Z-world.Min.Z)*sz) * 1023)
+		prims[i] = mortonPrim{index: int32(i), code: encodeMorton3(mx, my, mz)}
+	}
+	sort.Slice(prims, func(i, j int) bool {
+		if prims[i].code != prims[j].code {
+			return prims[i].code < prims[j].code
+		}
+		return prims[i].index < prims[j].index
+	})
+
+	b := &lbvhBuilder{tris: tris, prims: prims, maxLeaf: maxLeafSize}
+	root := b.build(0, len(prims), 29, 0)
+	out := &BVH{
+		Nodes:    b.nodes,
+		TriIndex: b.order,
+		MaxDepth: b.depth,
+		Bounds:   world,
+	}
+	out.Tris = make([]geom.Triangle, len(b.order))
+	for i, oi := range b.order {
+		out.Tris[i] = tris[oi]
+	}
+	if root.isLeaf {
+		out.Nodes = append(out.Nodes, Node{
+			LBounds: root.bounds, RBounds: geom.EmptyAABB(),
+			Left: ^root.leafStart, LCount: root.leafCount,
+			Right: ^int32(0), RCount: 0,
+		})
+	} else if root.nodeIndex != 0 {
+		// The bottom-up join emits the root last; traversal expects it
+		// at index 0. Swap it into place and retarget child references.
+		ri := root.nodeIndex
+		out.Nodes[0], out.Nodes[ri] = out.Nodes[ri], out.Nodes[0]
+		for i := range out.Nodes {
+			n := &out.Nodes[i]
+			switch n.Left {
+			case 0:
+				n.Left = ri
+			case ri:
+				n.Left = 0
+			}
+			switch n.Right {
+			case 0:
+				n.Right = ri
+			case ri:
+				n.Right = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+// mortonPrim pairs a triangle index with its Morton code.
+type mortonPrim struct {
+	index int32
+	code  uint32
+}
+
+type lbvhBuilder struct {
+	tris    []geom.Triangle
+	prims   []mortonPrim
+	maxLeaf int
+	nodes   []Node
+	order   []int32
+	depth   int
+}
+
+func (b *lbvhBuilder) build(start, end, bit, depth int) buildResult {
+	if depth > b.depth {
+		b.depth = depth
+	}
+	count := end - start
+	if count <= b.maxLeaf || bit < 0 {
+		if count > b.maxLeaf {
+			// Identical Morton codes: median-split recursively.
+			mid := start + count/2
+			return b.join(b.build(start, mid, -1, depth+1), b.build(mid, end, -1, depth+1))
+		}
+		return b.makeLeaf(start, end)
+	}
+	mask := uint32(1) << uint(bit)
+	// Find the split point: first prim whose code has the bit set.
+	split := start + sort.Search(count, func(i int) bool {
+		return b.prims[start+i].code&mask != 0
+	})
+	if split == start || split == end {
+		return b.build(start, end, bit-1, depth)
+	}
+	return b.join(
+		b.build(start, split, bit-1, depth+1),
+		b.build(split, end, bit-1, depth+1))
+}
+
+// join creates an inner node over two children.
+func (b *lbvhBuilder) join(left, right buildResult) buildResult {
+	n := Node{LBounds: left.bounds, RBounds: right.bounds}
+	if left.isLeaf {
+		n.Left = ^left.leafStart
+		n.LCount = left.leafCount
+	} else {
+		n.Left = left.nodeIndex
+	}
+	if right.isLeaf {
+		n.Right = ^right.leafStart
+		n.RCount = right.leafCount
+	} else {
+		n.Right = right.nodeIndex
+	}
+	idx := int32(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	return buildResult{nodeIndex: idx, bounds: left.bounds.Union(right.bounds)}
+}
+
+func (b *lbvhBuilder) makeLeaf(start, end int) buildResult {
+	leafStart := int32(len(b.order))
+	bounds := geom.EmptyAABB()
+	for i := start; i < end; i++ {
+		b.order = append(b.order, b.prims[i].index)
+		bounds = bounds.Union(b.tris[b.prims[i].index].Bounds())
+	}
+	return buildResult{
+		isLeaf:    true,
+		leafStart: leafStart,
+		leafCount: int32(end - start),
+		bounds:    bounds,
+	}
+}
+
+// encodeMorton3 interleaves the low 10 bits of x, y, z.
+func encodeMorton3(x, y, z uint32) uint32 {
+	return (expandBits(x) << 2) | (expandBits(y) << 1) | expandBits(z)
+}
+
+// expandBits spreads the low 10 bits of v so there are two zero bits
+// between each.
+func expandBits(v uint32) uint32 {
+	v &= 0x3ff
+	v = (v | v<<16) & 0x030000ff
+	v = (v | v<<8) & 0x0300f00f
+	v = (v | v<<4) & 0x030c30c3
+	v = (v | v<<2) & 0x09249249
+	return v
+}
+
+func clamp01(f float32) float32 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,153 @@
+package bvh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+	"repro/internal/vec"
+)
+
+func TestLBVHEmptyFails(t *testing.T) {
+	if _, err := BuildLBVH(nil, 8); err == nil {
+		t.Errorf("empty input accepted")
+	}
+}
+
+func TestLBVHValidOnAllScenes(t *testing.T) {
+	for _, b := range scene.Benchmarks {
+		s := scene.Generate(b, 2500)
+		bv, err := BuildLBVH(s.Tris, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if err := bv.Validate(); err != nil {
+			t.Errorf("%v: %v", b, err)
+		}
+	}
+}
+
+func TestLBVHMatchesBruteForce(t *testing.T) {
+	s := scene.Generate(scene.ConferenceRoom, 1500)
+	bv, err := BuildLBVH(s.Tris, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		o := vec.New(
+			float32(rnd.Float64())*20, float32(rnd.Float64())*6,
+			float32(rnd.Float64())*12)
+		d := vec.New(
+			float32(rnd.Float64()*2-1), float32(rnd.Float64()*2-1),
+			float32(rnd.Float64()*2-1))
+		if d.Len() < 1e-2 {
+			continue
+		}
+		r := geom.NewRay(o, d.Norm())
+		got := bv.Intersect(r, nil)
+		want := geom.NoHit
+		want.T = r.TMax
+		for ti, tri := range s.Tris {
+			if tt, u, v, ok := tri.Intersect(r, want.T); ok {
+				want.T, want.U, want.V, want.TriIndex = tt, u, v, int32(ti)
+			}
+		}
+		if want.TriIndex < 0 {
+			want = geom.NoHit
+		}
+		if got.TriIndex != want.TriIndex {
+			if got.TriIndex >= 0 && want.TriIndex >= 0 && abs(got.T-want.T) < 1e-4 {
+				continue
+			}
+			t.Fatalf("ray %d: lbvh %d (t=%v), brute %d (t=%v)",
+				i, got.TriIndex, got.T, want.TriIndex, want.T)
+		}
+	}
+}
+
+// The classic trade-off: LBVH builds faster, SAH traces with fewer node
+// visits.
+func TestSAHTracesBetterThanLBVH(t *testing.T) {
+	s := scene.Generate(scene.CrytekSponza, 5000)
+	sah, err := Build(s.Tris, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbvh, err := BuildLBVH(s.Tris, DefaultOptions().MaxLeafSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := func(bv *BVH) float64 {
+		rnd := rand.New(rand.NewSource(5))
+		var st TraversalStats
+		for i := 0; i < 1500; i++ {
+			o := vec.New(float32(rnd.Float64())*30, float32(rnd.Float64())*14, float32(rnd.Float64())*14)
+			d := vec.New(float32(rnd.Float64()*2-1), float32(rnd.Float64()*2-1), float32(rnd.Float64()*2-1))
+			if d.Len() < 1e-2 {
+				continue
+			}
+			bv.Intersect(geom.NewRay(o, d.Norm()), &st)
+		}
+		return float64(st.NodesVisited) / float64(st.Rays)
+	}
+	sv := visits(sah)
+	lv := visits(lbvh)
+	if sv >= lv {
+		t.Errorf("SAH visits %.1f nodes/ray, LBVH %.1f — expected SAH better", sv, lv)
+	}
+}
+
+func TestMortonEncoding(t *testing.T) {
+	// Bit 0 of z lands at bit 0; bit 0 of y at bit 1; bit 0 of x at bit 2.
+	if encodeMorton3(1, 0, 0) != 4 || encodeMorton3(0, 1, 0) != 2 || encodeMorton3(0, 0, 1) != 1 {
+		t.Errorf("morton low bits wrong: %d %d %d",
+			encodeMorton3(1, 0, 0), encodeMorton3(0, 1, 0), encodeMorton3(0, 0, 1))
+	}
+	// Monotone along each axis when others fixed.
+	prev := uint32(0)
+	for v := uint32(0); v < 1024; v += 64 {
+		c := encodeMorton3(v, 0, 0)
+		if v > 0 && c <= prev {
+			t.Fatalf("morton not monotone in x at %d", v)
+		}
+		prev = c
+	}
+	// expandBits keeps only 10 bits.
+	if expandBits(0xffffffff) != expandBits(0x3ff) {
+		t.Errorf("expandBits did not mask")
+	}
+}
+
+func TestLBVHDegenerateIdenticalCentroids(t *testing.T) {
+	// 100 triangles with the same centroid: identical Morton codes must
+	// fall back to median splits without overflowing.
+	tris := make([]geom.Triangle, 100)
+	for i := range tris {
+		tris[i] = geom.Triangle{
+			A: vec.New(-1, 0, 0), B: vec.New(1, 0, 0), C: vec.New(0, 1, 0),
+		}
+	}
+	bv, err := BuildLBVH(tris, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := geom.NewRay(vec.New(0, 0.3, -1), vec.New(0, 0, 1))
+	if h := bv.Intersect(r, nil); h.TriIndex < 0 {
+		t.Errorf("degenerate LBVH missed")
+	}
+}
+
+func BenchmarkBuildLBVH(b *testing.B) {
+	s := scene.Generate(scene.ConferenceRoom, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLBVH(s.Tris, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestDebugEff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarpsOverride = 8
+	smx, ctrl, _, _, _ := buildDRS(t, cfg, 3000)
+	st, err := smx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cycles=%d instrs=%d ctrl=%d stalls=%d eff=%.3f",
+		st.Cycles, st.WarpInstrs, st.CtrlInstrs, st.CtrlStalls, st.SIMDEfficiency(32))
+	t.Logf("remaps=%d swaps=%d meanSwap=%.1f", ctrl.Stats().Remaps, ctrl.Stats().SwapsCompleted, ctrl.Stats().MeanSwapCycles())
+	var buckets [5]int64
+	for k := 1; k <= 32; k++ {
+		buckets[(k-1)/8]++
+	}
+	var b [4]int64
+	for k := 1; k <= 32; k++ {
+		b[(k-1)/8] += st.ActiveHist[k]
+	}
+	t.Logf("hist W1:8=%d W9:16=%d W17:24=%d W25:32=%d (hist32=%d)", b[0], b[1], b[2], b[3], st.ActiveHist[32])
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// The control's structural invariants (each live slot in exactly one
+// cell, renaming bijective, busy counts sane) must hold at every point
+// during a run, not just at the end. Drive the machine in slices and
+// check between them.
+func TestInvariantsHoldThroughoutRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarpsOverride = 6
+	smx, ctrl, _, pool, _ := buildDRS(t, cfg, 2500)
+	for i := 0; i < 10_000; i++ {
+		if err := smx.RunFor(97); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.CheckInvariants(); err != nil {
+			t.Fatalf("after slice %d (cycle %d): %v", i, smx.Cycle(), err)
+		}
+		if smx.LiveWarps() == 0 {
+			break
+		}
+	}
+	if smx.LiveWarps() != 0 {
+		t.Fatalf("machine did not finish")
+	}
+	if pool.Remaining() != 0 {
+		t.Fatalf("pool not drained")
+	}
+}
+
+// Row count bookkeeping must agree with a full recount at any moment.
+func TestCountsMatchRecount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarpsOverride = 6
+	smx, ctrl, k, _, _ := buildDRS(t, cfg, 2000)
+	rnd := rand.New(rand.NewSource(99))
+	for i := 0; i < 60; i++ {
+		if err := smx.RunFor(int64(50 + rnd.Intn(400))); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < ctrl.RowCount(); r++ {
+			var recount [4]int
+			for _, slot := range ctrl.RowSlots(r) {
+				recount[k.StateOf(slot)]++
+			}
+			// Empty cells report StateEmpty via StateOf(-1); separate
+			// them from drained slots by counting only real slots.
+			var realEmpty int
+			for _, slot := range ctrl.RowSlots(r) {
+				if slot >= 0 && k.StateOf(slot) == kernels.StateEmpty {
+					realEmpty++
+				}
+			}
+			counts := ctrl.rowCounts[r]
+			if counts[kernels.StateFetch] != recount[kernels.StateFetch] ||
+				counts[kernels.StateInner] != recount[kernels.StateInner] ||
+				counts[kernels.StateLeaf] != recount[kernels.StateLeaf] {
+				t.Fatalf("row %d counts %v, recount %v (cycle %d)", r, counts, recount, smx.Cycle())
+			}
+			if counts[kernels.StateEmpty] < realEmpty {
+				// Dropped drained slots may make the counter smaller,
+				// never larger.
+				t.Fatalf("row %d empty counter %d < real %d", r, counts[kernels.StateEmpty], realEmpty)
+			}
+		}
+		if smx.LiveWarps() == 0 {
+			break
+		}
+	}
+}
+
+// The mixed-row tracker must agree with a recount.
+func TestMixedTrackerConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarpsOverride = 6
+	smx, ctrl, _, _, _ := buildDRS(t, cfg, 1500)
+	for i := 0; i < 40; i++ {
+		if err := smx.RunFor(211); err != nil {
+			t.Fatal(err)
+		}
+		recount := 0
+		for r := 0; r < ctrl.RowCount(); r++ {
+			_, uniform, _ := ctrl.rowState(r)
+			if !uniform {
+				recount++
+				if !ctrl.rowMixed[r] {
+					t.Fatalf("row %d mixed but not flagged", r)
+				}
+			} else if ctrl.rowMixed[r] {
+				t.Fatalf("row %d flagged mixed but uniform", r)
+			}
+		}
+		if recount != ctrl.numMixed {
+			t.Fatalf("numMixed %d, recount %d", ctrl.numMixed, recount)
+		}
+		if smx.LiveWarps() == 0 {
+			break
+		}
+	}
+}
+
+// Warps bound to rows must always execute rays whose states were
+// uniform at bind time; the gate must never bind a busy row.
+func TestGateNeverBindsBusyRow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarpsOverride = 6
+	smx, ctrl, _, _, _ := buildDRS(t, cfg, 1500)
+	for i := 0; i < 50; i++ {
+		if err := smx.RunFor(173); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < smx.NumWarps(); w++ {
+			r := ctrl.WarpRow(w)
+			if r < 0 {
+				continue
+			}
+			for i2 := range ctrl.roles {
+				op := ctrl.roles[i2].op
+				if op != nil && (op.srcRow == r || op.dstRow == r) {
+					t.Fatalf("row %d bound to warp %d while role %s swaps it", r, w, ctrl.roles[i2].name)
+				}
+			}
+		}
+		if smx.LiveWarps() == 0 {
+			break
+		}
+	}
+}
+
+// Ideal mode must also maintain invariants throughout.
+func TestIdealInvariantsThroughout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarpsOverride = 6
+	cfg.Ideal = true
+	smx, ctrl, _, _, _ := buildDRS(t, cfg, 1500)
+	for i := 0; i < 100; i++ {
+		if err := smx.RunFor(137); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", smx.Cycle(), err)
+		}
+		if smx.LiveWarps() == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/scene"
+	"repro/internal/simt"
+)
+
+// ArchCell is one architecture/scene/bounce measurement for the
+// Figure 10/11 comparison (Aila vs DMK vs TBC vs DRS).
+type ArchCell struct {
+	Scene     scene.Benchmark
+	Arch      harness.Arch
+	Bounce    int // 0 = overall (all bounces merged)
+	Rays      int
+	Eff       float64
+	Breakdown simt.Breakdown
+	Mrays     float64
+	// RFShuffleShare is the register file access share of ray
+	// shuffling (§4.4, DRS only).
+	RFShuffleShare float64
+	// L1TexMissRate supports the sponza analysis of §4.4.
+	L1TexMissRate float64
+	// SpawnConflictShare is DMK's spawn-memory conflict cycles over
+	// total cycles (§4.4 reports 7.95%-19.97%).
+	SpawnConflictShare float64
+}
+
+// ComparisonArchs lists the four architectures of Figures 10 and 11.
+var ComparisonArchs = []harness.Arch{
+	harness.ArchAila, harness.ArchDMK, harness.ArchTBC, harness.ArchDRS,
+}
+
+// Figure10 reproduces Figures 10 and 11: SIMD efficiency with
+// utilization breakdown and ray tracing performance for Aila's method,
+// DMK, TBC and the DRS, per bounce plus overall. The paper shows
+// bounces 1-3 and the overall result over all 8 bounces.
+func Figure10(p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, error) {
+	if perBounce <= 0 {
+		perBounce = 3
+	}
+	if scenes == nil {
+		scenes = scene.Benchmarks
+	}
+	bounces := p.Bounces
+	if bounces <= 0 {
+		bounces = 8
+	}
+	var cells []ArchCell
+	for _, b := range scenes {
+		w, err := BuildWorkload(b, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, arch := range ComparisonArchs {
+			var overall simt.Stats
+			var cycleSum int64
+			overallRays := 0
+			for bounce := 1; bounce <= bounces; bounce++ {
+				if len(w.BounceRays(bounce, p)) == 0 {
+					continue
+				}
+				res, err := w.simulate(arch, bounce, p)
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s %s B%d: %w", b, arch, bounce, err)
+				}
+				st := res.GPU.Stats
+				overall.Add(st)
+				// The paper's overall performance is total rays over the
+				// total cycles of all 8 bounces (each bounce is a
+				// separate kernel launch).
+				cycleSum += st.Cycles
+				overallRays += res.Rays
+				if bounce <= perBounce {
+					cells = append(cells, ArchCell{
+						Scene: b, Arch: arch, Bounce: bounce,
+						Rays: res.Rays, Eff: res.SIMDEff,
+						Breakdown:          st.UtilizationBreakdown(p.Options.Simt.WarpSize),
+						Mrays:              res.Mrays,
+						RFShuffleShare:     res.GPU.RFShuffleShare,
+						L1TexMissRate:      res.GPU.L1TexMissRate,
+						SpawnConflictShare: spawnShare(st),
+					})
+				}
+			}
+			overall.Cycles = cycleSum
+			cells = append(cells, ArchCell{
+				Scene: b, Arch: arch, Bounce: 0,
+				Rays: overallRays,
+				Eff:  overall.SIMDEfficiency(p.Options.Simt.WarpSize),
+				Breakdown: overall.UtilizationBreakdown(
+					p.Options.Simt.WarpSize),
+				Mrays: overall.MraysPerSec(int64(overallRays), p.Options.Simt.ClockMHz),
+			})
+		}
+	}
+	return cells, nil
+}
+
+func spawnShare(st simt.Stats) float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.SpawnConflictCycles) / float64(st.Cycles)
+}
+
+// RenderFigure10 prints the SIMD efficiency / breakdown comparison.
+func RenderFigure10(cells []ArchCell, perBounce int) string {
+	out := "Figure 10: SIMD efficiency and utilization breakdown (Aila / DMK / TBC / DRS)\n"
+	header := []string{"scene", "bounce", "arch", "SIMD eff", "W1:8", "W9:16", "W17:24", "W25:32", "SI"}
+	var rows [][]string
+	for _, b := range scene.Benchmarks {
+		for bounce := 1; bounce <= perBounce+1; bounce++ {
+			bn := bounce
+			label := fmt.Sprintf("B%d", bounce)
+			if bounce == perBounce+1 {
+				bn = 0
+				label = "all"
+			}
+			for _, arch := range ComparisonArchs {
+				for _, c := range cells {
+					if c.Scene == b && c.Arch == arch && c.Bounce == bn {
+						rows = append(rows, []string{
+							b.String(), label, arch.String(),
+							pct(c.Eff),
+							pct(c.Breakdown.W1to8), pct(c.Breakdown.W9to16),
+							pct(c.Breakdown.W17to24), pct(c.Breakdown.W25to32),
+							pct(c.Breakdown.SI),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out + table(header, rows)
+}
+
+// RenderFigure11 prints the performance and speedup comparison
+// (speedups normalized to Aila's software method, as in Figure 11).
+func RenderFigure11(cells []ArchCell, perBounce int) string {
+	out := "Figure 11: ray tracing performance (Mrays/s) and speedup vs Aila\n"
+	header := []string{"scene", "bounce", "aila", "dmk", "tbc", "drs", "dmk x", "tbc x", "drs x"}
+	var rows [][]string
+	get := func(b scene.Benchmark, arch harness.Arch, bounce int) (ArchCell, bool) {
+		for _, c := range cells {
+			if c.Scene == b && c.Arch == arch && c.Bounce == bounce {
+				return c, true
+			}
+		}
+		return ArchCell{}, false
+	}
+	for _, b := range scene.Benchmarks {
+		for bounce := 1; bounce <= perBounce+1; bounce++ {
+			bn := bounce
+			label := fmt.Sprintf("B%d", bounce)
+			if bounce == perBounce+1 {
+				bn = 0
+				label = "all"
+			}
+			aila, ok := get(b, harness.ArchAila, bn)
+			if !ok {
+				continue
+			}
+			dmk, _ := get(b, harness.ArchDMK, bn)
+			tbc, _ := get(b, harness.ArchTBC, bn)
+			drs, _ := get(b, harness.ArchDRS, bn)
+			speed := func(v float64) string {
+				if aila.Mrays == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.2fx", v/aila.Mrays)
+			}
+			rows = append(rows, []string{
+				b.String(), label,
+				f1(aila.Mrays), f1(dmk.Mrays), f1(tbc.Mrays), f1(drs.Mrays),
+				speed(dmk.Mrays), speed(tbc.Mrays), speed(drs.Mrays),
+			})
+		}
+	}
+	return out + table(header, rows)
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/scene"
+)
+
+// Fig8Config names one bar group of Figure 8's backup-row sweep.
+type Fig8Config struct {
+	Label string
+	// Aila selects the software baseline instead of the DRS.
+	Aila bool
+	DRS  core.Config
+}
+
+// Fig8Configs returns the configurations Figure 8 compares: one backup
+// row without the extra register bank, 1/2/4/8 backup rows with it,
+// the idealized DRS, and Aila's software method.
+func Fig8Configs() []Fig8Config {
+	mk := func(label string, rows int, extra, ideal bool) Fig8Config {
+		c := core.DefaultConfig()
+		c.BackupRows = rows
+		c.ExtraBank = extra
+		c.Ideal = ideal
+		return Fig8Config{Label: label, DRS: c}
+	}
+	return []Fig8Config{
+		mk("1-row (no extra bank)", 1, false, false),
+		mk("1-row", 1, true, false),
+		mk("2-row", 2, true, false),
+		mk("4-row", 4, true, false),
+		mk("8-row", 8, true, false),
+		mk("ideal", 1, true, true),
+		{Label: "aila", Aila: true},
+	}
+}
+
+// Fig8Cell is one measurement of the sweep.
+type Fig8Cell struct {
+	Scene  scene.Benchmark
+	Bounce int
+	Config string
+	Mrays  float64
+	// StallRate is the rdctrl warp-issue stall rate (Figure 9 reports
+	// this for the conference room and fairy forest benchmarks).
+	StallRate float64
+}
+
+// Figure8 reproduces Figures 8 and 9: simulated ray tracing performance
+// for the first `bounces` bounces of each scene under each backup-row
+// configuration, including the idealized DRS and Aila's method. The
+// paper evaluates bounces 1-4 with 2M rays each.
+func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error) {
+	if bounces <= 0 {
+		bounces = 4
+	}
+	if scenes == nil {
+		scenes = scene.Benchmarks
+	}
+	var cells []Fig8Cell
+	for _, b := range scenes {
+		w, err := BuildWorkload(b, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range Fig8Configs() {
+			pp := p
+			pp.Options.DRS = cfg.DRS
+			arch := harness.ArchDRS
+			if cfg.Aila {
+				arch = harness.ArchAila
+			}
+			for bounce := 1; bounce <= bounces; bounce++ {
+				if len(w.BounceRays(bounce, pp)) == 0 {
+					continue
+				}
+				res, err := w.simulate(arch, bounce, pp)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s %s B%d: %w", b, cfg.Label, bounce, err)
+				}
+				cells = append(cells, Fig8Cell{
+					Scene:     b,
+					Bounce:    bounce,
+					Config:    cfg.Label,
+					Mrays:     res.Mrays,
+					StallRate: res.GPU.Stats.CtrlStallRate(),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RenderFigure8 prints the Mrays/s sweep, one table per scene with one
+// row per configuration and one column per bounce.
+func RenderFigure8(cells []Fig8Cell, bounces int) string {
+	out := "Figure 8: simulated ray tracing performance (Mrays/s) by backup-row configuration\n"
+	for _, b := range scene.Benchmarks {
+		var rows [][]string
+		for _, cfg := range Fig8Configs() {
+			row := []string{cfg.Label}
+			found := false
+			for bounce := 1; bounce <= bounces; bounce++ {
+				v := ""
+				for _, c := range cells {
+					if c.Scene == b && c.Config == cfg.Label && c.Bounce == bounce {
+						v = f1(c.Mrays)
+						found = true
+					}
+				}
+				row = append(row, v)
+			}
+			if found {
+				rows = append(rows, row)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		header := []string{b.String()}
+		for bounce := 1; bounce <= bounces; bounce++ {
+			header = append(header, fmt.Sprintf("B%d", bounce))
+		}
+		out += table(header, rows) + "\n"
+	}
+	return out
+}
+
+// RenderFigure9 prints the rdctrl warp-issue stall rates for the
+// conference room and fairy forest benchmarks (Figure 9).
+func RenderFigure9(cells []Fig8Cell, bounces int) string {
+	out := "Figure 9: warp issue stall rate of the rdctrl instruction\n"
+	for _, b := range []scene.Benchmark{scene.ConferenceRoom, scene.FairyForest} {
+		var rows [][]string
+		for _, cfg := range Fig8Configs() {
+			if cfg.Aila || cfg.DRS.Ideal {
+				continue
+			}
+			row := []string{cfg.Label}
+			found := false
+			for bounce := 1; bounce <= bounces; bounce++ {
+				v := ""
+				for _, c := range cells {
+					if c.Scene == b && c.Config == cfg.Label && c.Bounce == bounce {
+						v = pct(c.StallRate)
+						found = true
+					}
+				}
+				row = append(row, v)
+			}
+			if found {
+				rows = append(rows, row)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		header := []string{b.String()}
+		for bounce := 1; bounce <= bounces; bounce++ {
+			header = append(header, fmt.Sprintf("B%d", bounce))
+		}
+		out += table(header, rows) + "\n"
+	}
+	return out
+}

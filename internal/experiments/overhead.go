@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hwcost"
+	"repro/internal/kernels"
+)
+
+// Overhead reproduces the §4.5 hardware overhead comparison: the DRS's
+// storage and area cost next to the DMK's spawn memory and TBC's warp
+// buffer requirements.
+func Overhead(drsCfg core.Config) string {
+	d := hwcost.DRS(drsCfg.SwapBuffers, drsCfg.Rows())
+	dmkBytes := hwcost.DMKSpawnBytes(54, kernels.RayRegisters)
+	tbcBytes := hwcost.TBCWarpBufferBytes()
+
+	header := []string{"item", "value"}
+	rows := [][]string{
+		{"DRS swap buffers", fmt.Sprintf("%d B (%d buffers x %d lanes x 32b)",
+			d.SwapBufferBytes, drsCfg.SwapBuffers, hwcost.WarpSize-1)},
+		{"DRS ray state table", fmt.Sprintf("%d B (%d rows x %d x 2b)",
+			d.RayStateTableBytes, drsCfg.Rows(), hwcost.WarpSize)},
+		{"DRS total per SMX", fmt.Sprintf("~%.1f KB", float64(d.TotalPerSMXBytes)/1024)},
+		{"DRS share of register file", fmt.Sprintf("%.2f%% of %d KB", d.RegFileFraction*100, hwcost.RegFileKBPerSM)},
+		{"DRS area per core", fmt.Sprintf("%.3f mm^2 (TSMC 28nm, from the paper's synthesis)", d.AreaPerCoreMM2)},
+		{"DRS area, whole GPU", fmt.Sprintf("%.2f%% of %.0f mm^2", d.TotalAreaFraction*100, hwcost.DieAreaMM2)},
+		{"DRS max frequency", fmt.Sprintf("%.1f GHz (%.2f ns critical path)", d.MaxFreqGHz, hwcost.DRSCycleNS)},
+		{"DMK spawn memory per SMX", fmt.Sprintf("%.2f KB (54 warps x 32 x 17 x 32b, metadata excluded)", float64(dmkBytes)/1024)},
+		{"TBC warp buffer per SMX", fmt.Sprintf("%.1f KB (plus a per-SIMD-lane addressable register file)", float64(tbcBytes)/1024)},
+	}
+	return "Section 4.5: hardware overhead\n" + table(header, rows)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/scene"
+)
+
+// Table2Cell is one measurement of the swap-buffer sweep.
+type Table2Cell struct {
+	Scene   scene.Benchmark
+	Bounce  int
+	Buffers int
+	Mrays   float64
+	// MeanSwapCycles is the average clock cycles one batched ray swap
+	// took (§4.3 reports 31.6/25.0/24.3/22.0 for 6/9/12/18 buffers).
+	MeanSwapCycles float64
+}
+
+// Table2Buffers is the paper's swap-buffer sweep.
+var Table2Buffers = []int{6, 9, 12, 18}
+
+// Table2 reproduces Table 2: ray tracing performance under 6, 9, 12
+// and 18 swap buffers, for the first `bounces` bounces of each scene
+// (the paper evaluates B1-B4).
+func Table2(p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, error) {
+	if bounces <= 0 {
+		bounces = 4
+	}
+	if scenes == nil {
+		scenes = scene.Benchmarks
+	}
+	var cells []Table2Cell
+	for _, b := range scenes {
+		w, err := BuildWorkload(b, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, bufs := range Table2Buffers {
+			pp := p
+			cfg := core.DefaultConfig()
+			cfg.SwapBuffers = bufs
+			pp.Options.DRS = cfg
+			for bounce := 1; bounce <= bounces; bounce++ {
+				if len(w.BounceRays(bounce, pp)) == 0 {
+					continue
+				}
+				res, err := w.simulate(harness.ArchDRS, bounce, pp)
+				if err != nil {
+					return nil, fmt.Errorf("table2 %s #%d B%d: %w", b, bufs, bounce, err)
+				}
+				cells = append(cells, Table2Cell{
+					Scene:          b,
+					Bounce:         bounce,
+					Buffers:        bufs,
+					Mrays:          res.Mrays,
+					MeanSwapCycles: res.DRS.MeanSwapCycles(),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RenderTable2 prints the swap-buffer sweep in the paper's layout:
+// scenes and bounces as rows, buffer counts as columns.
+func RenderTable2(cells []Table2Cell, bounces int) string {
+	header := []string{"test", "bounce"}
+	for _, bufs := range Table2Buffers {
+		header = append(header, fmt.Sprintf("#%d", bufs))
+	}
+	var rows [][]string
+	for _, b := range scene.Benchmarks {
+		for bounce := 1; bounce <= bounces; bounce++ {
+			row := []string{b.String(), fmt.Sprintf("B%d", bounce)}
+			found := false
+			for _, bufs := range Table2Buffers {
+				v := ""
+				for _, c := range cells {
+					if c.Scene == b && c.Bounce == bounce && c.Buffers == bufs {
+						v = f1(c.Mrays)
+						found = true
+					}
+				}
+				row = append(row, v)
+			}
+			if found {
+				rows = append(rows, row)
+			}
+		}
+	}
+	out := "Table 2: ray tracing performance (Mrays/s) by swap buffer count\n" + table(header, rows)
+
+	// Mean swap durations, aggregated per buffer count (§4.3 text).
+	out += "\nMean cycles per ray swap:\n"
+	for _, bufs := range Table2Buffers {
+		var sum float64
+		n := 0
+		for _, c := range cells {
+			if c.Buffers == bufs && c.MeanSwapCycles > 0 {
+				sum += c.MeanSwapCycles
+				n++
+			}
+		}
+		if n > 0 {
+			out += fmt.Sprintf("  #%d buffers: %.1f cycles\n", bufs, sum/float64(n))
+		}
+	}
+	return out
+}

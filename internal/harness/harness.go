@@ -1,0 +1,194 @@
+// Package harness wires complete simulated ray tracing runs: it
+// partitions a ray stream across SMXs, instantiates the requested
+// kernel and architecture per SMX, runs the device, and merges results
+// (per the paper's methodology, traces of rays are streamed into the
+// traversal kernels, and performance is reported in Mrays/s).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dmk"
+	"repro/internal/geom"
+	"repro/internal/kernels"
+	"repro/internal/simt"
+	"repro/internal/tbc"
+)
+
+// Arch selects the ray traversal architecture to simulate.
+type Arch int
+
+// The four architectures Figures 10 and 11 compare.
+const (
+	// ArchAila is the software baseline (while-while kernel).
+	ArchAila Arch = iota
+	// ArchDRS is the paper's dynamic ray shuffling architecture.
+	ArchDRS
+	// ArchDMK is the dynamic micro-kernel baseline.
+	ArchDMK
+	// ArchTBC is the thread block compaction baseline.
+	ArchTBC
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchAila:
+		return "aila"
+	case ArchDRS:
+		return "drs"
+	case ArchDMK:
+		return "dmk"
+	case ArchTBC:
+		return "tbc"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	Simt simt.Config
+	// AilaWarps is the number of warps the while-while kernel spawns
+	// per SMX (48 in the paper; the DRS kernel's warp count comes from
+	// its Config).
+	AilaWarps int
+	Aila      kernels.AilaConfig
+	WhileIf   kernels.WhileIfConfig
+	DRS       core.Config
+	DMK       dmk.Config
+	TBC       tbc.Config
+}
+
+// DefaultOptions returns the paper's configuration: Table 1 GPU,
+// 48-warp Aila kernel with speculative traversal, default DRS.
+func DefaultOptions() Options {
+	return Options{
+		Simt:      simt.DefaultConfig(),
+		AilaWarps: 48,
+		Aila:      kernels.AilaConfig{Speculative: true},
+		DRS:       core.DefaultConfig(),
+		DMK:       dmk.DefaultConfig(),
+		TBC:       tbc.DefaultConfig(),
+	}
+}
+
+// Result is a completed run.
+type Result struct {
+	Arch Arch
+	GPU  *simt.GPUResult
+	// Hits holds the committed hit for every input ray, in input order.
+	Hits []geom.Hit
+	// Rays is the number of rays traced.
+	Rays int
+	// Mrays is the simulated tracing rate in Mrays/s.
+	Mrays float64
+	// SIMDEff is the overall SIMD efficiency.
+	SIMDEff float64
+	// DRS aggregates the per-SMX DRS control stats (ArchDRS only).
+	DRS core.Stats
+	// DMKStats aggregates the per-SMX DMK stats (ArchDMK only).
+	DMKStats dmk.Stats
+	// TBCStats aggregates the per-SMX TBC stats (ArchTBC only).
+	TBCStats tbc.Stats
+}
+
+// Run simulates tracing the given rays on the chosen architecture.
+func Run(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
+	if len(rays) == 0 {
+		return nil, fmt.Errorf("harness: empty ray stream")
+	}
+	cfg := opt.Simt
+	switch arch {
+	case ArchAila, ArchDMK, ArchTBC:
+		if opt.AilaWarps > 0 {
+			cfg.MaxWarpsPerSMX = opt.AilaWarps
+		}
+	case ArchDRS:
+		if err := opt.DRS.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.MaxWarpsPerSMX = opt.DRS.Warps()
+	}
+
+	type smxOut struct {
+		hits  []geom.Hit
+		start int
+		drs   *core.Control
+		dmk   *dmk.Wrapper
+		tbc   *tbc.Wrapper
+	}
+	outs := make([]*smxOut, cfg.NumSMX)
+
+	factory := func(id int) (simt.SMXProgram, error) {
+		start, end := simt.Partition(len(rays), cfg.NumSMX, id)
+		pool := &kernels.Pool{Rays: rays[start:end]}
+		out := &smxOut{start: start}
+		outs[id] = out
+		switch arch {
+		case ArchAila:
+			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, opt.Aila)
+			out.hits = k.Hits
+			return simt.SMXProgram{Kernel: k}, nil
+		case ArchDRS:
+			slots := (opt.DRS.Rows() - 2) * cfg.WarpSize
+			k := kernels.NewWhileIfConfigured(data, pool, slots, opt.WhileIf)
+			out.hits = k.Hits
+			ctrl, err := core.NewControl(opt.DRS, k)
+			if err != nil {
+				return simt.SMXProgram{}, err
+			}
+			out.drs = ctrl
+			return simt.SMXProgram{
+				Kernel: k,
+				Hooks:  ctrl.Hooks(),
+				Launch: ctrl.Launch,
+			}, nil
+		case ArchDMK:
+			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, kernels.AilaConfig{})
+			out.hits = k.Hits
+			w := dmk.New(opt.DMK, k, cfg.MaxWarpsPerSMX, cfg.WarpSize)
+			out.dmk = w
+			return simt.SMXProgram{Kernel: k, Hooks: w.Hooks()}, nil
+		case ArchTBC:
+			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, kernels.AilaConfig{})
+			out.hits = k.Hits
+			w := tbc.New(opt.TBC, k, cfg.MaxWarpsPerSMX, cfg.WarpSize)
+			out.tbc = w
+			return simt.SMXProgram{Kernel: k, Hooks: w.Hooks()}, nil
+		default:
+			return simt.SMXProgram{}, fmt.Errorf("harness: unknown arch %d", arch)
+		}
+	}
+
+	gpu, err := simt.RunGPU(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Arch: arch,
+		GPU:  gpu,
+		Hits: make([]geom.Hit, len(rays)),
+		Rays: len(rays),
+	}
+	for _, o := range outs {
+		copy(res.Hits[o.start:], o.hits)
+		if o.drs != nil {
+			s := o.drs.Stats()
+			res.DRS.Remaps += s.Remaps
+			res.DRS.SwapsStarted += s.SwapsStarted
+			res.DRS.SwapsCompleted += s.SwapsCompleted
+			res.DRS.SwapCycleSum += s.SwapCycleSum
+			res.DRS.IdealShuffles += s.IdealShuffles
+		}
+		if o.dmk != nil {
+			res.DMKStats.Add(o.dmk.Stats())
+		}
+		if o.tbc != nil {
+			res.TBCStats.Add(o.tbc.Stats())
+		}
+	}
+	res.Mrays = gpu.Stats.MraysPerSec(int64(len(rays)), cfg.ClockMHz)
+	res.SIMDEff = gpu.Stats.SIMDEfficiency(cfg.WarpSize)
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+// Hits must be identical regardless of how rays are partitioned across
+// SMXs (no loss, duplication, or misindexing at partition boundaries).
+func TestPartitioningPreservesHits(t *testing.T) {
+	data, traces, _ := testWorkload(t, scene.FairyForest, 1500)
+	rays := traces.Bounce(2).Rays
+	opt := smallOptions()
+
+	opt.Simt.NumSMX = 1
+	one, err := Run(ArchAila, rays, data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Simt.NumSMX = 5
+	five, err := Run(ArchAila, rays, data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rays {
+		if one.Hits[i].TriIndex != five.Hits[i].TriIndex {
+			t.Fatalf("ray %d: 1-SMX hit %d, 5-SMX hit %d", i, one.Hits[i].TriIndex, five.Hits[i].TriIndex)
+		}
+	}
+}
+
+// A trace stream written to the binary format and read back must
+// simulate to identical results — the tracegen/drsbench file exchange.
+func TestTraceFileRoundTripSimulatesIdentically(t *testing.T) {
+	data, traces, _ := testWorkload(t, scene.ConferenceRoom, 1200)
+	stream := traces.Bounce(2)
+	var buf bytes.Buffer
+	if err := stream.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One SMX: multi-SMX runs share the L2 concurrently and are only
+	// deterministic up to timing noise.
+	opt := smallOptions()
+	opt.Simt.NumSMX = 1
+	direct, err := Run(ArchAila, stream.Rays, data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Run(ArchAila, loaded.Rays, data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.GPU.Stats.WarpInstrs != fromFile.GPU.Stats.WarpInstrs {
+		t.Errorf("instruction counts differ: %d vs %d",
+			direct.GPU.Stats.WarpInstrs, fromFile.GPU.Stats.WarpInstrs)
+	}
+	for i := range direct.Hits {
+		if direct.Hits[i].TriIndex != fromFile.Hits[i].TriIndex {
+			t.Fatalf("ray %d hits differ", i)
+		}
+	}
+}
+
+// A single-SMX simulation must be exactly deterministic; multi-SMX
+// runs share the L2 concurrently, so their LRU state (and thus timing)
+// varies slightly run-to-run, but hits must stay identical and cycles
+// within a small tolerance.
+func TestSimulationDeterministic(t *testing.T) {
+	data, traces, _ := testWorkload(t, scene.CrytekSponza, 1500)
+	rays := traces.Bounce(2).Rays
+	opt := smallOptions()
+
+	opt.Simt.NumSMX = 1
+	var one *Result
+	for i := 0; i < 3; i++ {
+		res, err := Run(ArchDRS, rays, data, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one == nil {
+			one = res
+			continue
+		}
+		if res.GPU.Stats.Cycles != one.GPU.Stats.Cycles ||
+			res.GPU.Stats.WarpInstrs != one.GPU.Stats.WarpInstrs ||
+			res.DRS.SwapsCompleted != one.DRS.SwapsCompleted {
+			t.Fatalf("single-SMX run %d differs: cycles %d vs %d, instrs %d vs %d, swaps %d vs %d",
+				i, res.GPU.Stats.Cycles, one.GPU.Stats.Cycles,
+				res.GPU.Stats.WarpInstrs, one.GPU.Stats.WarpInstrs,
+				res.DRS.SwapsCompleted, one.DRS.SwapsCompleted)
+		}
+	}
+
+	opt.Simt.NumSMX = 4
+	var ref *Result
+	for i := 0; i < 3; i++ {
+		res, err := Run(ArchDRS, rays, data, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for j := range rays {
+			if res.Hits[j].TriIndex != ref.Hits[j].TriIndex {
+				t.Fatalf("multi-SMX run %d: hit %d differs", i, j)
+			}
+		}
+		// Short runs on tiny machines amplify the L2-interleaving
+		// variance; at experiment scale it is well under a percent.
+		dc := float64(res.GPU.Stats.Cycles-ref.GPU.Stats.Cycles) / float64(ref.GPU.Stats.Cycles)
+		if dc < -0.15 || dc > 0.15 {
+			t.Errorf("multi-SMX cycle variation %.1f%% exceeds 15%%", dc*100)
+		}
+	}
+}
+
+// All four architectures on all four scenes: hits must match the CPU
+// reference (the heaviest correctness sweep in the suite).
+func TestAllScenesAllArchsCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := smallOptions()
+	for _, b := range scene.Benchmarks {
+		data, traces, bv := testWorkload(t, b, 1200)
+		rays := traces.Bounce(2).Rays
+		if len(rays) > 2500 {
+			rays = rays[:2500]
+		}
+		for _, arch := range []Arch{ArchAila, ArchDRS, ArchDMK, ArchTBC} {
+			res, err := Run(arch, rays, data, opt)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", b, arch, err)
+			}
+			verifyHits(t, b.String()+"/"+arch.String(), rays, res.Hits, bv)
+		}
+	}
+}
+
+// Occlusion (any-hit) mode: Aila and DRS must agree with the reference
+// occlusion query for every ray.
+func TestAnyHitParityAcrossArchitectures(t *testing.T) {
+	data, traces, bv := testWorkload(t, scene.ConferenceRoom, 1200)
+	rays := traces.Bounce(2).Rays
+	if len(rays) > 2000 {
+		rays = rays[:2000]
+	}
+	opt := smallOptions()
+	opt.Aila.AnyHit = true
+	opt.WhileIf.AnyHit = true
+	for _, arch := range []Arch{ArchAila, ArchDRS} {
+		res, err := Run(arch, rays, data, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		for i, r := range rays {
+			want := bv.IntersectAny(r, nil)
+			got := res.Hits[i].TriIndex >= 0
+			if got != want {
+				t.Fatalf("%v ray %d: occluded=%v, want %v", arch, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package hwcost_test
+
+import (
+	"fmt"
+
+	"repro/internal/hwcost"
+)
+
+// The §4.5 arithmetic for the paper's recommended configuration: six
+// swap buffers and 61 ray rows (58 warps + 1 backup + 2 empty).
+func ExampleDRS() {
+	d := hwcost.DRS(6, 61)
+	fmt.Printf("swap buffers: %d B\n", d.SwapBufferBytes)
+	fmt.Printf("ray state table: %d B\n", d.RayStateTableBytes)
+	fmt.Printf("register file share: %.2f%%\n", d.RegFileFraction*100)
+	fmt.Printf("GPU area share: %.2f%%\n", d.TotalAreaFraction*100)
+	// Output:
+	// swap buffers: 744 B
+	// ray state table: 488 B
+	// register file share: 0.55%
+	// GPU area share: 0.11%
+}
+
+func ExampleDMKSpawnBytes() {
+	kb := float64(hwcost.DMKSpawnBytes(54, 17)) / 1024
+	fmt.Printf("%.2f KB\n", kb)
+	// Output: 114.75 KB
+}

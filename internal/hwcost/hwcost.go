@@ -1,0 +1,67 @@
+// Package hwcost reproduces the hardware overhead arithmetic of §4.5:
+// the storage requirements of the DRS (swap buffers, ray state table),
+// of the DMK's spawn memory and of TBC's warp buffer, and the area
+// scaling of the synthesized DRS design. The paper's HDL synthesis is
+// substituted by this analytic model; the per-core area figure
+// (0.042 mm² in TSMC 28 nm) is taken from the paper and scaled.
+package hwcost
+
+// Parameters of the GTX780-class device used throughout §4.5.
+const (
+	WarpSize       = 32
+	RegFileKBPerSM = 256 // 65536 registers x 4 bytes
+	NumSMX         = 15
+	DieAreaMM2     = 550.0 // Kepler-sized GPU
+	DRSCoreAreaMM2 = 0.042 // synthesized DRS area per core (paper, TSMC 28nm)
+	DRSCycleNS     = 0.47  // synthesized critical path
+)
+
+// DRSCost is the DRS storage/area breakdown.
+type DRSCost struct {
+	SwapBufferBytes    int     // 6 x (warpSize-1) x 32 bits
+	RayStateTableBytes int     // rows x 32 x 20 bits
+	TotalPerSMXBytes   int     // with additional control state
+	RegFileFraction    float64 // of the 256 KB register file
+	AreaPerCoreMM2     float64
+	TotalAreaFraction  float64 // of the 550 mm² die
+	MaxFreqGHz         float64
+}
+
+// DRS computes the DRS hardware overhead for the given configuration
+// (§4.5 uses 6 swap buffers and 61 rows: 58 warps + 1 backup + 2 empty).
+func DRS(swapBuffers, rows int) DRSCost {
+	swapBytes := swapBuffers * (WarpSize - 1) * 32 / 8
+	// The ray state table stores one of four traversal states per live
+	// ray: 2 bits per entry (61 x 32 entries = 488 bytes, matching the
+	// paper's figure).
+	stateBytes := rows * WarpSize * 2 / 8
+	// "With some additional control state, the total storage
+	// requirement is approximately 1.4 KB per SMX": the control adds
+	// renaming and swap-request tracking on top of the two stores.
+	controlBytes := 200
+	total := swapBytes + stateBytes + controlBytes
+	return DRSCost{
+		SwapBufferBytes:    swapBytes,
+		RayStateTableBytes: stateBytes,
+		TotalPerSMXBytes:   total,
+		RegFileFraction:    float64(total) / float64(RegFileKBPerSM*1024),
+		AreaPerCoreMM2:     DRSCoreAreaMM2,
+		TotalAreaFraction:  DRSCoreAreaMM2 * NumSMX / DieAreaMM2,
+		MaxFreqGHz:         1.0 / DRSCycleNS,
+	}
+}
+
+// DMKSpawnBytes returns the minimum on-chip spawn memory per SMX for
+// the DMK baseline: capacity for every resident thread's live
+// registers. §4.5: 54 x 32 x 17 x 32 bits = 114.75 KB (54 resident
+// warps, 17 registers), excluding metadata.
+func DMKSpawnBytes(warps, regsPerThread int) int {
+	return warps * WarpSize * regsPerThread * 32 / 8
+}
+
+// TBCWarpBufferBytes returns TBC's warp-buffer storage per SMX: thread
+// ids for the compaction buffer. §4.5: 10 x 32 x 64 bits = 2.5 KB
+// (1024 max threads per block and 64 max warps per SMX on Kepler).
+func TBCWarpBufferBytes() int {
+	return 10 * 32 * 64 / 8
+}

@@ -1,0 +1,53 @@
+package hwcost
+
+import "testing"
+
+func TestDRSPaperArithmetic(t *testing.T) {
+	// §4.5: 6 swap buffers, 61 rows (58 warps + 1 backup + 2 empty).
+	d := DRS(6, 61)
+	if d.SwapBufferBytes != 744 {
+		t.Errorf("swap buffer bytes = %d, want 744", d.SwapBufferBytes)
+	}
+	if d.RayStateTableBytes != 488 {
+		t.Errorf("ray state table bytes = %d, want 488", d.RayStateTableBytes)
+	}
+	if kb := float64(d.TotalPerSMXBytes) / 1024; kb < 1.3 || kb > 1.5 {
+		t.Errorf("total per SMX = %.2f KB, want ~1.4", kb)
+	}
+	if pct := d.RegFileFraction * 100; pct < 0.5 || pct > 0.6 {
+		t.Errorf("register file share = %.2f%%, want ~0.55%%", pct)
+	}
+	if pct := d.TotalAreaFraction * 100; pct < 0.10 || pct > 0.13 {
+		t.Errorf("area share = %.3f%%, want ~0.11%%", pct)
+	}
+	if d.MaxFreqGHz < 2.0 {
+		t.Errorf("max frequency = %.2f GHz, want > 2", d.MaxFreqGHz)
+	}
+}
+
+func TestDMKSpawnBytes(t *testing.T) {
+	// §4.5: 54 x 32 x 17 x 32 bits = 114.75 KB.
+	got := DMKSpawnBytes(54, 17)
+	if float64(got)/1024 != 114.75 {
+		t.Errorf("spawn bytes = %d (%.2f KB), want 114.75 KB", got, float64(got)/1024)
+	}
+}
+
+func TestTBCWarpBufferBytes(t *testing.T) {
+	// §4.5: 10 x 32 x 64 bits = 2.5 KB.
+	if got := TBCWarpBufferBytes(); float64(got)/1024 != 2.5 {
+		t.Errorf("warp buffer = %d bytes, want 2.5 KB", got)
+	}
+}
+
+func TestDRSScalesWithConfig(t *testing.T) {
+	small := DRS(6, 61)
+	moreBuffers := DRS(18, 61)
+	moreRows := DRS(6, 70)
+	if moreBuffers.SwapBufferBytes <= small.SwapBufferBytes {
+		t.Errorf("buffer storage did not grow")
+	}
+	if moreRows.RayStateTableBytes <= small.RayStateTableBytes {
+		t.Errorf("state table storage did not grow")
+	}
+}

@@ -1,0 +1,324 @@
+// Package kernels implements the ray traversal kernels the paper
+// evaluates as basic-block programs for the simt engine:
+//
+//   - Aila: the software baseline — the "while-while" kernel with
+//     persistent threads, speculative traversal (postponed leaves with a
+//     warp-wide break vote) and terminated-ray replacement, per Aila et
+//     al.'s Kepler kernel that the paper uses as its comparison point.
+//   - WhileIf: Kernel 1 of the paper — the layered "while-if" kernel
+//     driven by the rdctrl instruction, built on Aila's kernel by
+//     removing speculative traversal; it is the kernel the DRS hardware
+//     (internal/core) schedules.
+//
+// Both kernels share the per-thread traversal semantics in this file,
+// operating on the flattened BVH from internal/bvh and on per-slot
+// contexts that stand in for the 17 live ray registers of the paper.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bvh"
+	"repro/internal/geom"
+	"repro/internal/memsys"
+	"repro/internal/simt"
+	"repro/internal/vec"
+)
+
+// RayRegisters is the number of live per-ray register variables the
+// paper reports for Kernel 1 ("the variables of a ray are composed of
+// 17 integers and floats"); the DRS swap engine moves this many values
+// per shuffled ray.
+const RayRegisters = 17
+
+// RefNone is the absent child reference.
+const RefNone = int64(math.MinInt64)
+
+// Child references pack either an inner node index (>= 0) or a leaf
+// (first triangle, count) pair into an int64.
+func innerChild(idx int32) int64 { return int64(idx) }
+
+func leafChild(first, count int32) int64 {
+	return -((int64(first) << 16) | int64(count)) - 1
+}
+
+func isLeaf(ref int64) bool { return ref < 0 && ref != RefNone }
+
+func leafBounds(ref int64) (first, count int32) {
+	v := -(ref + 1)
+	return int32(v >> 16), int32(v & 0xffff)
+}
+
+// childOf converts a bvh.Node child encoding to a child reference.
+func childOf(idx, count int32) int64 {
+	if idx >= 0 {
+		return innerChild(idx)
+	}
+	return leafChild(^idx, count)
+}
+
+// maxTravStack bounds the per-ray traversal stack.
+const maxTravStack = 96
+
+// Ctx is the per-slot traversal context: the live state of one ray,
+// corresponding to the ray registers the DRS shuffles.
+type Ctx struct {
+	HasRay bool
+	Ray    geom.Ray
+	InvDir vec.V3
+	Hit    geom.Hit
+
+	Stack [maxTravStack]int64
+	SP    int
+
+	// Cur is the next child reference to visit (inner or leaf).
+	Cur int64
+	// Pending is a postponed leaf (speculative traversal, Aila only).
+	Pending int64
+	// CurLeaf and LeafIdx track the leaf currently being tested.
+	CurLeaf int64
+	LeafIdx int32
+
+	// RayIndex is the ray's index in the pool, for result storage.
+	RayIndex int32
+
+	// Burst counts the traversal steps taken in the current if-body
+	// invocation of the while-if kernel; bodies process up to a bounded
+	// burst of nodes/triangles per rdctrl round.
+	Burst int32
+
+	// State is the ray traversal state the DRS ray state table tracks
+	// (the reg_ray_state special register of the paper).
+	State State
+}
+
+// State is the ray traversal state (§3.2.2 of the paper).
+type State uint8
+
+// Ray traversal states.
+const (
+	// StateEmpty marks a slot holding no work (the pool is exhausted or
+	// the slot was never filled).
+	StateEmpty State = iota
+	// StateFetch marks a terminated slot that must fetch a new ray.
+	StateFetch
+	// StateInner marks a ray that must traverse inner nodes.
+	StateInner
+	// StateLeaf marks a ray that must test leaf objects.
+	StateLeaf
+)
+
+func (s State) String() string {
+	switch s {
+	case StateEmpty:
+		return "empty"
+	case StateFetch:
+		return "fetch"
+	case StateInner:
+		return "inner"
+	case StateLeaf:
+		return "leaf"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// SceneData is the GPU-resident scene: the flattened BVH plus the
+// simulated base addresses of each array, used to generate memory
+// traffic. Nodes and triangles are read through the L1 texture cache,
+// matching Aila's kernel.
+type SceneData struct {
+	BVH *bvh.BVH
+
+	NodeBase uint64
+	TriBase  uint64
+	RayBase  uint64
+	HitBase  uint64
+}
+
+// NewSceneData lays out the scene in the simulated address space.
+func NewSceneData(b *bvh.BVH) *SceneData {
+	const base = uint64(0x1000_0000)
+	nodeBytes := uint64(len(b.Nodes)) * bvh.NodeBytes
+	triBytes := uint64(len(b.Tris)) * bvh.TriBytes
+	return &SceneData{
+		BVH:      b,
+		NodeBase: base,
+		TriBase:  base + align(nodeBytes),
+		RayBase:  base + align(nodeBytes) + align(triBytes),
+		HitBase:  base + align(nodeBytes) + align(triBytes) + 1<<30,
+	}
+}
+
+func align(n uint64) uint64 { return (n + 4095) &^ 4095 }
+
+// NodeAddr returns the simulated address of inner node i.
+func (d *SceneData) NodeAddr(i int32) uint64 {
+	return d.NodeBase + uint64(i)*bvh.NodeBytes
+}
+
+// TriAddr returns the simulated address of reordered triangle i.
+func (d *SceneData) TriAddr(i int32) uint64 {
+	return d.TriBase + uint64(i)*bvh.TriBytes
+}
+
+// RayAddr returns the simulated address of pool ray i.
+func (d *SceneData) RayAddr(i int32) uint64 {
+	return d.RayBase + uint64(i)*32
+}
+
+// HitAddr returns the simulated address of hit record i.
+func (d *SceneData) HitAddr(i int32) uint64 {
+	return d.HitBase + uint64(i)*16
+}
+
+// Pool is one SMX's slice of the ray stream, consumed by terminated
+// threads. Each SMX owns a pool, so no synchronization is needed.
+type Pool struct {
+	Rays []geom.Ray
+	next int
+}
+
+// Fetch pops the next ray, returning its pool index, or ok=false when
+// the pool is dry.
+func (p *Pool) Fetch() (geom.Ray, int32, bool) {
+	if p.next >= len(p.Rays) {
+		return geom.Ray{}, 0, false
+	}
+	r := p.Rays[p.next]
+	i := int32(p.next)
+	p.next++
+	return r, i, true
+}
+
+// Remaining returns the number of unfetched rays.
+func (p *Pool) Remaining() int { return len(p.Rays) - p.next }
+
+// initRay loads a fresh ray into the context.
+func (c *Ctx) initRay(r geom.Ray, index int32) {
+	c.HasRay = true
+	c.Ray = r
+	c.InvDir = r.InvDir()
+	c.Hit = geom.NoHit
+	c.Hit.T = r.TMax
+	c.SP = 0
+	c.Cur = innerChild(0) // root
+	c.Pending = RefNone
+	c.CurLeaf = RefNone
+	c.LeafIdx = 0
+	c.RayIndex = index
+	c.State = StateInner
+}
+
+// terminate clears the ray, leaving the final hit for commit.
+func (c *Ctx) terminate() {
+	c.HasRay = false
+	c.State = StateFetch
+}
+
+// push adds a child reference to the traversal stack.
+func (c *Ctx) push(ref int64) {
+	if c.SP >= maxTravStack {
+		panic("kernels: traversal stack overflow")
+	}
+	c.Stack[c.SP] = ref
+	c.SP++
+}
+
+// pop removes and returns the top reference, or RefNone if empty.
+func (c *Ctx) pop() int64 {
+	if c.SP == 0 {
+		return RefNone
+	}
+	c.SP--
+	return c.Stack[c.SP]
+}
+
+// nodeStep visits the inner node in c.Cur: tests both children and
+// advances Cur (near child), pushing the far child. Returns the fetch
+// address of the visited node. On return, Cur holds the next reference
+// (inner, leaf, or RefNone when traversal is exhausted).
+func (c *Ctx) nodeStep(d *SceneData) uint64 {
+	idx := int32(c.Cur)
+	n := &d.BVH.Nodes[idx]
+	r := c.Ray
+	r.TMax = c.Hit.T
+	tl, okl := n.LBounds.IntersectRay(r, c.InvDir)
+	tr, okr := n.RBounds.IntersectRay(r, c.InvDir)
+	lRef := childOf(n.Left, n.LCount)
+	rRef := childOf(n.Right, n.RCount)
+	switch {
+	case okl && okr:
+		near, far := lRef, rRef
+		if tr < tl {
+			near, far = rRef, lRef
+		}
+		c.push(far)
+		c.Cur = near
+	case okl:
+		c.Cur = lRef
+	case okr:
+		c.Cur = rRef
+	default:
+		c.Cur = c.pop()
+	}
+	return d.NodeAddr(idx)
+}
+
+// triStep tests triangle LeafIdx of the current leaf, advancing the
+// index. Returns the triangle fetch address and whether the leaf has
+// more triangles after this one.
+func (c *Ctx) triStep(d *SceneData) (addr uint64, more bool) {
+	first, count := leafBounds(c.CurLeaf)
+	i := first + c.LeafIdx
+	addr = d.TriAddr(i)
+	if t, u, v, ok := d.BVH.Tris[i].Intersect(c.Ray, c.Hit.T); ok {
+		c.Hit.T = t
+		c.Hit.U = u
+		c.Hit.V = v
+		c.Hit.TriIndex = d.BVH.TriIndex[i]
+	}
+	c.LeafIdx++
+	return addr, c.LeafIdx < count
+}
+
+// beginLeaf arranges for the context to start testing the given leaf.
+// Empty (zero-count) leaves are skipped, returning false.
+func (c *Ctx) beginLeaf(ref int64) bool {
+	_, count := leafBounds(ref)
+	if count == 0 {
+		return false
+	}
+	c.CurLeaf = ref
+	c.LeafIdx = 0
+	return true
+}
+
+// abortTraversal clears all remaining traversal work (used by any-hit
+// queries once occlusion is established).
+func (c *Ctx) abortTraversal() {
+	c.SP = 0
+	c.Cur = RefNone
+	c.Pending = RefNone
+	c.CurLeaf = RefNone
+	c.LeafIdx = 0
+}
+
+// finalHit returns the hit to commit (NoHit if nothing was found).
+func (c *Ctx) finalHit() geom.Hit {
+	if c.Hit.TriIndex < 0 {
+		return geom.NoHit
+	}
+	return c.Hit
+}
+
+// texAccess builds a texture-path memory access.
+func texAccess(addr uint64, bytes uint32) simt.MemAccess {
+	return simt.MemAccess{Addr: addr, Bytes: bytes, Space: memsys.Tex}
+}
+
+// dataAccess builds a data-path memory access.
+func dataAccess(addr uint64, bytes uint32) simt.MemAccess {
+	return simt.MemAccess{Addr: addr, Bytes: bytes, Space: memsys.Data}
+}

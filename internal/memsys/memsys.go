@@ -1,0 +1,258 @@
+// Package memsys models the GPU memory hierarchy of the simulated
+// GTX780-class device: per-SMX L1 data and L1 texture caches, a shared
+// L2, and a fixed-latency DRAM behind it. The traversal kernels access
+// BVH nodes and triangles through the L1 texture cache (as in Aila's
+// kernel) and ray records through the L1 data cache.
+package memsys
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Space identifies which path a memory access takes.
+type Space uint8
+
+// Memory spaces used by the kernels.
+const (
+	// Tex accesses go through the L1 texture cache (BVH nodes and
+	// triangles in Aila's kernel layout).
+	Tex Space = iota
+	// Data accesses go through the L1 data cache (ray records, hit
+	// records, pool counters).
+	Data
+)
+
+// Config holds the hierarchy parameters (Table 1 of the paper plus
+// standard Kepler latencies).
+type Config struct {
+	LineBytes int // cache line size
+
+	L1DataKB    int
+	L1TexKB     int
+	L1Assoc     int
+	L2KB        int // total, shared across SMXs
+	L2Assoc     int
+	L1HitLat    int // cycles from issue to data for an L1 hit
+	L2HitLat    int // additional cycles for an L1 miss that hits L2
+	DRAMLat     int // additional cycles for an L2 miss
+	TxCycles    int // extra cycles per additional coalesced transaction
+	NumSMX      int // number of SMXs sharing the L2
+	L2SliceMask int // internal: derived
+}
+
+// DefaultConfig returns the GTX780 parameters used by the paper
+// (Table 1): 48KB L1 data, 48KB L1 texture, 1536KB L2, 15 SMXs.
+func DefaultConfig() Config {
+	return Config{
+		LineBytes: 128,
+		L1DataKB:  48,
+		L1TexKB:   48,
+		L1Assoc:   6,
+		L2KB:      1536,
+		L2Assoc:   16,
+		L1HitLat:  28,
+		L2HitLat:  170,
+		DRAMLat:   250,
+		TxCycles:  4,
+		NumSMX:    15,
+	}
+}
+
+// CacheStats counts accesses and misses.
+type CacheStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// cache is a set-associative cache with LRU replacement, tracked at
+// line-tag granularity (no data storage — the simulator only needs
+// hit/miss behaviour).
+type cache struct {
+	sets      [][]uint64 // per-set tag list in LRU order (front = MRU)
+	assoc     int
+	numSets   int
+	lineShift uint
+	stats     CacheStats
+}
+
+func newCache(totalKB, assoc, lineBytes int) *cache {
+	lines := totalKB * 1024 / lineBytes
+	if assoc <= 0 {
+		assoc = 4
+	}
+	numSets := lines / assoc
+	if numSets < 1 {
+		numSets = 1
+	}
+	shift := uint(0)
+	for (1 << shift) < lineBytes {
+		shift++
+	}
+	sets := make([][]uint64, numSets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, assoc)
+	}
+	return &cache{sets: sets, assoc: assoc, numSets: numSets, lineShift: shift}
+}
+
+// access looks up the line containing addr, updating LRU state, and
+// reports whether it hit.
+func (c *cache) access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := c.sets[line%uint64(c.numSets)]
+	c.stats.Accesses++
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	c.stats.Misses++
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line
+	c.sets[line%uint64(c.numSets)] = set
+	return false
+}
+
+// L2 is the device-level cache shared by all SMXs. It is safe for
+// concurrent use by the per-SMX goroutines.
+type L2 struct {
+	mu sync.Mutex
+	c  *cache
+}
+
+// NewL2 builds the shared L2 from cfg.
+func NewL2(cfg Config) *L2 {
+	return &L2{c: newCache(cfg.L2KB, cfg.L2Assoc, cfg.LineBytes)}
+}
+
+// Access performs one L2 lookup.
+func (l *L2) Access(addr uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.access(addr)
+}
+
+// Stats returns a snapshot of the L2 counters.
+func (l *L2) Stats() CacheStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.stats
+}
+
+// SMXMem is the per-SMX view of the hierarchy: private L1s over the
+// shared L2.
+type SMXMem struct {
+	cfg  Config
+	l1d  *cache
+	l1t  *cache
+	l2   *L2
+	txns int64
+}
+
+// NewSMXMem creates the per-SMX caches, attached to the shared l2.
+func NewSMXMem(cfg Config, l2 *L2) *SMXMem {
+	if l2 == nil {
+		panic("memsys: nil shared L2")
+	}
+	return &SMXMem{
+		cfg: cfg,
+		l1d: newCache(cfg.L1DataKB, cfg.L1Assoc, cfg.LineBytes),
+		l1t: newCache(cfg.L1TexKB, cfg.L1Assoc, cfg.LineBytes),
+		l2:  l2,
+	}
+}
+
+// AccessLine performs one transaction for the line containing addr in
+// the given space and returns its latency in cycles.
+func (m *SMXMem) AccessLine(space Space, addr uint64) int {
+	m.txns++
+	l1 := m.l1d
+	if space == Tex {
+		l1 = m.l1t
+	}
+	if l1.access(addr) {
+		return m.cfg.L1HitLat
+	}
+	if m.l2.Access(addr) {
+		return m.cfg.L1HitLat + m.cfg.L2HitLat
+	}
+	return m.cfg.L1HitLat + m.cfg.L2HitLat + m.cfg.DRAMLat
+}
+
+// WarpAccess coalesces the addresses of one warp memory instruction
+// into line transactions and returns the total warp latency plus the
+// number of transactions. Latency is the max single-transaction latency
+// plus a serialization cost per extra transaction, matching the
+// stall-until-complete model the engine uses.
+func (m *SMXMem) WarpAccess(space Space, addrs []uint64, bytes uint32) (latency, transactions int) {
+	if len(addrs) == 0 {
+		return 0, 0
+	}
+	lineBytes := uint64(m.cfg.LineBytes)
+	// Collect unique lines. Warp size is small, a slice scan is fast.
+	var lines [64]uint64
+	n := 0
+	for _, a := range addrs {
+		first := a / lineBytes
+		last := (a + uint64(bytes) - 1) / lineBytes
+		for l := first; l <= last; l++ {
+			dup := false
+			for i := 0; i < n; i++ {
+				if lines[i] == l {
+					dup = true
+					break
+				}
+			}
+			if !dup && n < len(lines) {
+				lines[n] = l
+				n++
+			}
+		}
+	}
+	maxLat := 0
+	for i := 0; i < n; i++ {
+		lat := m.AccessLine(space, lines[i]*lineBytes)
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	return maxLat + (n-1)*m.cfg.TxCycles, n
+}
+
+// L1DataStats returns a snapshot of the L1 data cache counters.
+func (m *SMXMem) L1DataStats() CacheStats { return m.l1d.stats }
+
+// L1TexStats returns a snapshot of the L1 texture cache counters.
+func (m *SMXMem) L1TexStats() CacheStats { return m.l1t.stats }
+
+// Transactions returns the number of line transactions performed.
+func (m *SMXMem) Transactions() int64 { return m.txns }
+
+// String summarizes the SMX's cache behaviour.
+func (m *SMXMem) String() string {
+	return fmt.Sprintf("L1D %.1f%% hit, L1T %.1f%% hit, %d txns",
+		m.l1d.stats.HitRate()*100, m.l1t.stats.HitRate()*100, m.txns)
+}

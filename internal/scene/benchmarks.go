@@ -1,0 +1,353 @@
+package scene
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// Benchmark identifies one of the paper's four evaluation scenes.
+type Benchmark int
+
+// The four benchmark scenes of the paper (Figure 7).
+const (
+	ConferenceRoom Benchmark = iota
+	FairyForest
+	CrytekSponza
+	Plants
+)
+
+// Benchmarks lists all four scenes in the paper's order.
+var Benchmarks = []Benchmark{ConferenceRoom, FairyForest, CrytekSponza, Plants}
+
+func (b Benchmark) String() string {
+	switch b {
+	case ConferenceRoom:
+		return "conference"
+	case FairyForest:
+		return "fairy"
+	case CrytekSponza:
+		return "sponza"
+	case Plants:
+		return "plants"
+	default:
+		return "unknown"
+	}
+}
+
+// PaperTriCount returns the triangle count the paper reports for the
+// original mesh (Figure 7). Our generators scale to any budget; the
+// paper counts are the default full-scale targets.
+func (b Benchmark) PaperTriCount() int {
+	switch b {
+	case ConferenceRoom:
+		return 283_000
+	case FairyForest:
+		return 174_000
+	case CrytekSponza:
+		return 262_000
+	case Plants:
+		return 1_100_000
+	default:
+		return 0
+	}
+}
+
+// Generate builds the procedural stand-in for benchmark b with
+// approximately triBudget triangles (a budget <= 0 selects the paper's
+// full-scale count). Generation is deterministic for a given budget.
+func Generate(b Benchmark, triBudget int) *Scene {
+	if triBudget <= 0 {
+		triBudget = b.PaperTriCount()
+	}
+	switch b {
+	case ConferenceRoom:
+		return generateConference(triBudget)
+	case FairyForest:
+		return generateFairy(triBudget)
+	case CrytekSponza:
+		return generateSponza(triBudget)
+	case Plants:
+		return generatePlants(triBudget)
+	default:
+		panic("scene: unknown benchmark")
+	}
+}
+
+// generateConference builds an indoor room: closed box, ceiling area
+// lights, a large table and uneven clusters of chair-like furniture.
+// Objects are unevenly distributed, matching the paper's description.
+func generateConference(budget int) *Scene {
+	bd := NewBuilder("conference")
+	white := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.75, 0.73, 0.70)})
+	wood := bd.AddMaterial(Material{Kind: Glossy, Albedo: vec.New(0.48, 0.33, 0.18), Roughness: 0.3})
+	metal := bd.AddMaterial(Material{Kind: Mirror, Albedo: vec.New(0.85, 0.85, 0.88)})
+	cloth := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.25, 0.30, 0.45)})
+	light := bd.AddMaterial(Material{Kind: Emissive, Albedo: vec.Splat(0.8), Emission: vec.New(18, 17, 15)})
+
+	// Room shell: 20 x 6 x 12 meters, interior faces.
+	room := geom.AABB{Min: vec.New(0, 0, 0), Max: vec.New(20, 6, 12)}
+	addRoomShell(bd, room, white)
+
+	// Ceiling light panels (the paper notes these make rays easy to
+	// terminate compared to sponza).
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			x := 3 + float32(i)*4.2
+			z := 3 + float32(j)*5
+			bd.AddQuad(
+				vec.New(x, 5.95, z), vec.New(x+2, 5.95, z),
+				vec.New(x+2, 5.95, z+1.2), vec.New(x, 5.95, z+1.2), light)
+		}
+	}
+
+	// Conference table.
+	bd.AddBox(geom.AABB{Min: vec.New(5, 1.0, 4), Max: vec.New(15, 1.15, 8)}, wood)
+	for _, p := range [][2]float32{{5.5, 4.5}, {14.5, 4.5}, {5.5, 7.5}, {14.5, 7.5}} {
+		bd.AddCylinder(vec.New(p[0], 0, p[1]), 0.12, 1.0, 10, metal)
+	}
+
+	// Spend the remaining budget on unevenly clustered furniture: chair
+	// clusters around the table plus sparse clutter near the walls.
+	r := rng.NewPCG32(101, 7)
+	for bd.TriCount() < budget-700 {
+		var cx, cz float32
+		if r.Float32() < 0.75 {
+			// Dense ring around the table.
+			cx = 4 + r.Float32()*12
+			cz = 2.5 + r.Float32()*7
+		} else {
+			// Sparse wall clutter.
+			cx = 0.5 + r.Float32()*19
+			cz = 0.5 + r.Float32()*11
+		}
+		addChair(bd, vec.New(cx, 0, cz), 0.4+r.Float32()*0.2, cloth, metal, r)
+	}
+
+	// Fine detail: a faceted sphere sculpture to absorb leftover budget.
+	for bd.TriCount() < budget {
+		rem := budget - bd.TriCount()
+		seg := sphereSegForBudget(rem)
+		bd.AddSphere(vec.New(10, 1.6, 6), 0.45, seg, seg*2, metal)
+	}
+	return bd.Scene()
+}
+
+// generateFairy builds the "teapot in a stadium": a huge sparse outdoor
+// environment (ground + a few big shapes) with ~80% of the triangle
+// budget packed into one small, highly detailed model in the middle.
+func generateFairy(budget int) *Scene {
+	bd := NewBuilder("fairy")
+	grass := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.25, 0.45, 0.18)})
+	bark := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.35, 0.25, 0.15)})
+	skin := bd.AddMaterial(Material{Kind: Glossy, Albedo: vec.New(0.8, 0.65, 0.55), Roughness: 0.4})
+	moon := bd.AddMaterial(Material{Kind: Emissive, Albedo: vec.Splat(0.9), Emission: vec.New(8, 8, 10)})
+
+	// Vast ground plane, 400 x 400.
+	bd.AddQuad(
+		vec.New(-200, 0, -200), vec.New(200, 0, -200),
+		vec.New(200, 0, 200), vec.New(-200, 0, 200), grass)
+
+	// Sky light: a large emissive quad high above (outdoor scene).
+	bd.AddQuad(
+		vec.New(-150, 120, -150), vec.New(150, 120, -150),
+		vec.New(150, 120, 150), vec.New(-150, 120, 150), moon)
+
+	// A handful of big coarse "trees" scattered widely.
+	r := rng.NewPCG32(202, 11)
+	coarse := budget / 5
+	for bd.TriCount() < coarse {
+		x := (r.Float32()*2 - 1) * 150
+		z := (r.Float32()*2 - 1) * 150
+		if x*x+z*z < 400 { // keep the center clear for the model
+			continue
+		}
+		h := 6 + r.Float32()*10
+		bd.AddCylinder(vec.New(x, 0, z), 0.5+r.Float32(), h, 8, bark)
+		bd.AddSphere(vec.New(x, h+2, z), 2.5+r.Float32()*2, 6, 10, grass)
+	}
+
+	// The small detailed model: a dense cluster of spheres ~2 units
+	// across at the origin, absorbing the rest of the budget.
+	for bd.TriCount() < budget {
+		rem := budget - bd.TriCount()
+		seg := sphereSegForBudget(rem)
+		cx := (r.Float32()*2 - 1) * 0.8
+		cy := 0.3 + r.Float32()*1.4
+		cz := (r.Float32()*2 - 1) * 0.8
+		bd.AddSphere(vec.New(cx, cy, cz), 0.1+r.Float32()*0.25, seg, seg*2, skin)
+	}
+	return bd.Scene()
+}
+
+// generateSponza builds tall occluding architecture: a two-story
+// colonnaded atrium with a narrow sky opening. Lights are hard to reach
+// so rays need many bounces to terminate, matching the paper's analysis
+// of why sponza is the slowest scene.
+func generateSponza(budget int) *Scene {
+	bd := NewBuilder("sponza")
+	stone := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.55, 0.50, 0.42)})
+	brick := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.45, 0.30, 0.22)})
+	fabric := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.55, 0.12, 0.10)})
+	sky := bd.AddMaterial(Material{Kind: Emissive, Albedo: vec.Splat(0.9), Emission: vec.New(6, 7, 9)})
+
+	// Atrium shell: 30 x 14 x 14, open only through a narrow roof slot.
+	shell := geom.AABB{Min: vec.New(0, 0, 0), Max: vec.New(30, 14, 14)}
+	addRoomShell(bd, shell, brick)
+	// Narrow sky slot along the middle of the ceiling.
+	bd.AddQuad(
+		vec.New(6, 13.9, 5.5), vec.New(24, 13.9, 5.5),
+		vec.New(24, 13.9, 8.5), vec.New(6, 13.9, 8.5), sky)
+
+	// Two stories of colonnades along both long walls.
+	r := rng.NewPCG32(303, 13)
+	for story := 0; story < 2; story++ {
+		y := float32(story) * 6
+		for i := 0; i < 12; i++ {
+			x := 2 + float32(i)*2.4
+			for _, z := range []float32{3, 11} {
+				bd.AddCylinder(vec.New(x, y, z), 0.35, 5.0, 14, stone)
+				// Capital and base blocks.
+				bd.AddBox(geom.AABB{
+					Min: vec.New(x-0.5, y+5.0, z-0.5),
+					Max: vec.New(x+0.5, y+5.6, z+0.5)}, stone)
+				bd.AddBox(geom.AABB{
+					Min: vec.New(x-0.5, y, z-0.5),
+					Max: vec.New(x+0.5, y+0.3, z+0.5)}, stone)
+			}
+		}
+		// Walkway floors behind the colonnades.
+		bd.AddBox(geom.AABB{Min: vec.New(0, y+5.6, 0), Max: vec.New(30, y+6, 3.5)}, stone)
+		bd.AddBox(geom.AABB{Min: vec.New(0, y+5.6, 10.5), Max: vec.New(30, y+6, 14)}, stone)
+	}
+
+	// Hanging fabric banners (the sponza's drapes) — thin boxes at
+	// random positions that add occlusion complexity.
+	for bd.TriCount() < budget*3/5 {
+		x := 3 + r.Float32()*24
+		z := 4.5 + r.Float32()*5
+		y := 7 + r.Float32()*4
+		w := 0.8 + r.Float32()*1.4
+		bd.AddBox(geom.AABB{
+			Min: vec.New(x, y-2.5, z),
+			Max: vec.New(x+w, y, z+0.05)}, fabric)
+	}
+
+	// Architectural relief detail: many small stone blocks on walls,
+	// absorbing the rest of the budget.
+	for bd.TriCount() < budget {
+		x := r.Float32() * 30
+		y := r.Float32() * 13
+		z := float32(0.1)
+		if r.Float32() < 0.5 {
+			z = 13.6
+		}
+		s := 0.1 + r.Float32()*0.3
+		bd.AddBox(geom.AABB{
+			Min: vec.New(x, y, z),
+			Max: vec.New(x+s, y+s, z+0.3)}, stone)
+	}
+	return bd.Scene()
+}
+
+// generatePlants builds the dense outdoor scene: a large count of small
+// leaf triangles densely and uniformly distributed above a ground
+// plane, with stems connecting to the ground.
+func generatePlants(budget int) *Scene {
+	bd := NewBuilder("plants")
+	leaf := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.20, 0.42, 0.12)})
+	leaf2 := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.32, 0.50, 0.15)})
+	soil := bd.AddMaterial(Material{Kind: Diffuse, Albedo: vec.New(0.30, 0.22, 0.12)})
+	sun := bd.AddMaterial(Material{Kind: Emissive, Albedo: vec.Splat(0.9), Emission: vec.New(10, 9, 7)})
+
+	// Ground.
+	bd.AddQuad(
+		vec.New(-60, 0, -60), vec.New(60, 0, -60),
+		vec.New(60, 0, 60), vec.New(-60, 0, 60), soil)
+	// Sky light.
+	bd.AddQuad(
+		vec.New(-50, 40, -50), vec.New(50, 40, -50),
+		vec.New(50, 40, 50), vec.New(-50, 40, 50), sun)
+
+	// Dense foliage: clusters of leaves. Each leaf is a single small
+	// triangle; clusters sit on short stems. The paper stresses that the
+	// plants scene's reflected rays are mostly occluded by the dense
+	// triangles, so density is the key property here.
+	r := rng.NewPCG32(404, 17)
+	for bd.TriCount() < budget {
+		// Cluster center.
+		cx := (r.Float32()*2 - 1) * 55
+		cz := (r.Float32()*2 - 1) * 55
+		h := 0.3 + r.Float32()*2.2
+		bd.AddCylinder(vec.New(cx, 0, cz), 0.03, h, 4, soil)
+		mat := leaf
+		if r.Float32() < 0.5 {
+			mat = leaf2
+		}
+		leaves := 20 + r.IntN(40)
+		for k := 0; k < leaves && bd.TriCount() < budget; k++ {
+			px := cx + (r.Float32()*2-1)*0.8
+			py := h + (r.Float32()*2-1)*0.6
+			if py < 0.05 {
+				py = 0.05
+			}
+			pz := cz + (r.Float32()*2-1)*0.8
+			size := 0.05 + r.Float32()*0.12
+			a := vec.New(px, py, pz)
+			b := a.Add(vec.New((r.Float32()*2-1)*size, r.Float32()*size, (r.Float32()*2-1)*size))
+			c := a.Add(vec.New((r.Float32()*2-1)*size, r.Float32()*size, (r.Float32()*2-1)*size))
+			bd.AddTriangle(a, b, c, mat)
+		}
+	}
+	return bd.Scene()
+}
+
+// addRoomShell adds the six interior faces of box so normals face
+// inward (winding chosen per face).
+func addRoomShell(bd *Builder, box geom.AABB, mat int32) {
+	lo, hi := box.Min, box.Max
+	// Floor (+y up).
+	bd.AddQuad(vec.New(lo.X, lo.Y, lo.Z), vec.New(hi.X, lo.Y, lo.Z),
+		vec.New(hi.X, lo.Y, hi.Z), vec.New(lo.X, lo.Y, hi.Z), mat)
+	// Ceiling.
+	bd.AddQuad(vec.New(lo.X, hi.Y, lo.Z), vec.New(lo.X, hi.Y, hi.Z),
+		vec.New(hi.X, hi.Y, hi.Z), vec.New(hi.X, hi.Y, lo.Z), mat)
+	// Walls.
+	bd.AddQuad(vec.New(lo.X, lo.Y, lo.Z), vec.New(lo.X, hi.Y, lo.Z),
+		vec.New(hi.X, hi.Y, lo.Z), vec.New(hi.X, lo.Y, lo.Z), mat)
+	bd.AddQuad(vec.New(lo.X, lo.Y, hi.Z), vec.New(hi.X, lo.Y, hi.Z),
+		vec.New(hi.X, hi.Y, hi.Z), vec.New(lo.X, hi.Y, hi.Z), mat)
+	bd.AddQuad(vec.New(lo.X, lo.Y, lo.Z), vec.New(lo.X, lo.Y, hi.Z),
+		vec.New(lo.X, hi.Y, hi.Z), vec.New(lo.X, hi.Y, lo.Z), mat)
+	bd.AddQuad(vec.New(hi.X, lo.Y, lo.Z), vec.New(hi.X, hi.Y, lo.Z),
+		vec.New(hi.X, hi.Y, hi.Z), vec.New(hi.X, lo.Y, hi.Z), mat)
+}
+
+// addChair adds a simple chair: seat, back and four legs.
+func addChair(bd *Builder, at vec.V3, scale float32, seatMat, legMat int32, r *rng.PCG32) {
+	s := scale
+	seatH := 0.45 * s * 2
+	// Legs.
+	for _, d := range [][2]float32{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}} {
+		bd.AddCylinder(at.Add(vec.New(d[0]*0.2*s*2, 0, d[1]*0.2*s*2)), 0.02*s*2, seatH, 6, legMat)
+	}
+	// Seat.
+	bd.AddBox(geom.AABB{
+		Min: at.Add(vec.New(-0.25*s*2, seatH, -0.25*s*2)),
+		Max: at.Add(vec.New(0.25*s*2, seatH+0.05*s*2, 0.25*s*2))}, seatMat)
+	// Back.
+	bd.AddBox(geom.AABB{
+		Min: at.Add(vec.New(-0.25*s*2, seatH, 0.2*s*2)),
+		Max: at.Add(vec.New(0.25*s*2, seatH+0.5*s*2, 0.25*s*2))}, seatMat)
+}
+
+// sphereSegForBudget picks a sphere tessellation whose triangle count
+// (~2*seg*seg) does not exceed the remaining budget, clamped to a
+// sensible range.
+func sphereSegForBudget(remaining int) int {
+	seg := 3
+	for seg < 24 && 2*(seg+1)*(seg+1)*2 < remaining {
+		seg++
+	}
+	return seg
+}

@@ -1,0 +1,26 @@
+package scene_test
+
+import (
+	"fmt"
+
+	"repro/internal/scene"
+)
+
+// Generate builds a deterministic procedural stand-in for one of the
+// paper's benchmark scenes at any triangle budget.
+func ExampleGenerate() {
+	s := scene.Generate(scene.ConferenceRoom, 5000)
+	fmt.Println(s.Name, len(s.Tris) >= 5000, len(s.Lights) > 0)
+	// Output: conference true true
+}
+
+func ExampleBenchmark_PaperTriCount() {
+	for _, b := range scene.Benchmarks {
+		fmt.Println(b, b.PaperTriCount())
+	}
+	// Output:
+	// conference 283000
+	// fairy 174000
+	// sponza 262000
+	// plants 1100000
+}

@@ -1,0 +1,207 @@
+// Package scene defines the triangle-soup scene model consumed by the
+// BVH builder and renderer, plus procedural generators for the four
+// benchmark scenes the paper evaluates (conference room, fairy forest,
+// crytek sponza, plants).
+//
+// The original meshes are not redistributable, so each generator
+// synthesizes geometry that preserves the property the paper's analysis
+// attributes to that scene: the conference room is an indoor box with
+// ceiling lights and uneven furniture clutter; the fairy forest is a
+// "teapot in a stadium" (small dense model in a large open environment);
+// the sponza is tall occluding architecture where rays are hard to
+// terminate; the plants scene is a large count of densely distributed
+// small triangles.
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/vec"
+)
+
+// MaterialKind selects the BSDF used at a surface.
+type MaterialKind uint8
+
+// Material kinds.
+const (
+	Diffuse MaterialKind = iota
+	Mirror
+	Glossy
+	Emissive
+)
+
+func (k MaterialKind) String() string {
+	switch k {
+	case Diffuse:
+		return "diffuse"
+	case Mirror:
+		return "mirror"
+	case Glossy:
+		return "glossy"
+	case Emissive:
+		return "emissive"
+	default:
+		return fmt.Sprintf("MaterialKind(%d)", uint8(k))
+	}
+}
+
+// Material describes a surface's reflectance.
+type Material struct {
+	Kind      MaterialKind
+	Albedo    vec.V3  // reflectance for diffuse/glossy, tint for mirror
+	Emission  vec.V3  // radiance for emissive surfaces
+	Roughness float32 // glossy exponent control in (0, 1]
+}
+
+// Scene is a triangle soup with materials and a list of emissive
+// triangles that act as light sources.
+type Scene struct {
+	Name      string
+	Tris      []geom.Triangle
+	Materials []Material
+	Lights    []int32 // indices into Tris of emissive triangles
+	Bounds    geom.AABB
+}
+
+// Builder incrementally assembles a Scene.
+type Builder struct {
+	s Scene
+}
+
+// NewBuilder returns an empty scene builder with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{s: Scene{Name: name, Bounds: geom.EmptyAABB()}}
+}
+
+// AddMaterial registers a material and returns its id.
+func (b *Builder) AddMaterial(m Material) int32 {
+	b.s.Materials = append(b.s.Materials, m)
+	return int32(len(b.s.Materials) - 1)
+}
+
+// AddTriangle appends one triangle with material id mat.
+func (b *Builder) AddTriangle(a, bb, c vec.V3, mat int32) {
+	t := geom.Triangle{A: a, B: bb, C: c, Material: mat}
+	if int(mat) < len(b.s.Materials) && b.s.Materials[mat].Kind == Emissive {
+		b.s.Lights = append(b.s.Lights, int32(len(b.s.Tris)))
+	}
+	b.s.Tris = append(b.s.Tris, t)
+	b.s.Bounds = b.s.Bounds.Union(t.Bounds())
+}
+
+// AddQuad appends two triangles forming the quad (a, b, c, d) in order.
+func (b *Builder) AddQuad(a, bb, c, d vec.V3, mat int32) {
+	b.AddTriangle(a, bb, c, mat)
+	b.AddTriangle(a, c, d, mat)
+}
+
+// AddBox appends the 12 triangles of an axis-aligned box.
+func (b *Builder) AddBox(box geom.AABB, mat int32) {
+	lo, hi := box.Min, box.Max
+	v := [8]vec.V3{
+		{X: lo.X, Y: lo.Y, Z: lo.Z}, {X: hi.X, Y: lo.Y, Z: lo.Z},
+		{X: hi.X, Y: hi.Y, Z: lo.Z}, {X: lo.X, Y: hi.Y, Z: lo.Z},
+		{X: lo.X, Y: lo.Y, Z: hi.Z}, {X: hi.X, Y: lo.Y, Z: hi.Z},
+		{X: hi.X, Y: hi.Y, Z: hi.Z}, {X: lo.X, Y: hi.Y, Z: hi.Z},
+	}
+	quads := [6][4]int{
+		{0, 1, 2, 3}, {5, 4, 7, 6}, // -z, +z
+		{4, 0, 3, 7}, {1, 5, 6, 2}, // -x, +x
+		{4, 5, 1, 0}, {3, 2, 6, 7}, // -y, +y
+	}
+	for _, q := range quads {
+		b.AddQuad(v[q[0]], v[q[1]], v[q[2]], v[q[3]], mat)
+	}
+}
+
+// AddSphere appends a UV-sphere approximation with the requested number
+// of latitudinal and longitudinal segments.
+func (b *Builder) AddSphere(center vec.V3, radius float32, latSeg, lonSeg int, mat int32) {
+	if latSeg < 2 {
+		latSeg = 2
+	}
+	if lonSeg < 3 {
+		lonSeg = 3
+	}
+	pt := func(i, j int) vec.V3 {
+		theta := float64(i) / float64(latSeg) * 3.14159265358979
+		phi := float64(j) / float64(lonSeg) * 2 * 3.14159265358979
+		st, ct := sincos(theta)
+		sp, cp := sincos(phi)
+		return center.Add(vec.New(
+			radius*float32(st*cp),
+			radius*float32(ct),
+			radius*float32(st*sp)))
+	}
+	for i := 0; i < latSeg; i++ {
+		for j := 0; j < lonSeg; j++ {
+			p00 := pt(i, j)
+			p01 := pt(i, j+1)
+			p10 := pt(i+1, j)
+			p11 := pt(i+1, j+1)
+			if i != 0 {
+				b.AddTriangle(p00, p10, p01, mat)
+			}
+			if i != latSeg-1 {
+				b.AddTriangle(p01, p10, p11, mat)
+			}
+		}
+	}
+}
+
+// AddCylinder appends an open cylinder along +Y.
+func (b *Builder) AddCylinder(base vec.V3, radius, height float32, seg int, mat int32) {
+	if seg < 3 {
+		seg = 3
+	}
+	for j := 0; j < seg; j++ {
+		a0 := float64(j) / float64(seg) * 2 * 3.14159265358979
+		a1 := float64(j+1) / float64(seg) * 2 * 3.14159265358979
+		s0, c0 := sincos(a0)
+		s1, c1 := sincos(a1)
+		p0 := base.Add(vec.New(radius*float32(c0), 0, radius*float32(s0)))
+		p1 := base.Add(vec.New(radius*float32(c1), 0, radius*float32(s1)))
+		q0 := p0.Add(vec.New(0, height, 0))
+		q1 := p1.Add(vec.New(0, height, 0))
+		b.AddQuad(p0, p1, q1, q0, mat)
+	}
+}
+
+// Scene finalizes and returns the assembled scene.
+func (b *Builder) Scene() *Scene {
+	s := b.s
+	return &s
+}
+
+// TriCount returns the number of triangles added so far.
+func (b *Builder) TriCount() int { return len(b.s.Tris) }
+
+func sincos(x float64) (s, c float64) {
+	return math.Sin(x), math.Cos(x)
+}
+
+// Validate checks the structural invariants of a scene: every triangle
+// references a valid material, every light index references an emissive
+// triangle, and bounds contain all triangles. It returns the first
+// violation found.
+func (s *Scene) Validate() error {
+	for i, t := range s.Tris {
+		if t.Material < 0 || int(t.Material) >= len(s.Materials) {
+			return fmt.Errorf("scene %q: tri %d has invalid material %d", s.Name, i, t.Material)
+		}
+		if !s.Bounds.ContainsBox(t.Bounds()) {
+			return fmt.Errorf("scene %q: tri %d escapes scene bounds", s.Name, i)
+		}
+	}
+	for _, li := range s.Lights {
+		if li < 0 || int(li) >= len(s.Tris) {
+			return fmt.Errorf("scene %q: light index %d out of range", s.Name, li)
+		}
+		if s.Materials[s.Tris[li].Material].Kind != Emissive {
+			return fmt.Errorf("scene %q: light %d is not emissive", s.Name, li)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package simt
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/regfile"
+)
+
+// SchedPolicy selects the warp scheduling policy.
+type SchedPolicy uint8
+
+// Warp scheduling policies.
+const (
+	// SchedGTO is greedy-then-oldest (Table 1's configuration): keep
+	// issuing the same warp; fall back to the warp that has waited
+	// longest.
+	SchedGTO SchedPolicy = iota
+	// SchedRR is loose round-robin: rotate through ready warps
+	// (ablation baseline).
+	SchedRR
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedGTO:
+		return "gto"
+	case SchedRR:
+		return "rr"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds the GPU microarchitectural parameters (Table 1 of the
+// paper: a GeForce GTX780, Kepler architecture).
+type Config struct {
+	WarpSize             int // SIMD lanes per warp
+	NumSMX               int // SMXs per GPU
+	SchedulersPerSMX     int // warp schedulers per SMX
+	DispatchPerScheduler int // instruction dispatch units per scheduler
+	MaxWarpsPerSMX       int // resident warps (kernel-dependent)
+	ClockMHz             int // SMX clock
+	Scheduler            SchedPolicy
+
+	Mem memsys.Config
+	RF  regfile.Config
+
+	// MaxCycles aborts a run that fails to terminate (engine bug
+	// guard). Zero means the default of 2^40.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper's Table 1 configuration: 980 MHz,
+// 32 lanes, 15 SMXs, 4 schedulers with 8 dispatch units per SMX,
+// 65536 registers per SMX, 48 KB L1 data, 48 KB L1 texture, 1536 KB L2.
+func DefaultConfig() Config {
+	return Config{
+		WarpSize:             32,
+		NumSMX:               15,
+		SchedulersPerSMX:     4,
+		DispatchPerScheduler: 2,
+		MaxWarpsPerSMX:       48,
+		ClockMHz:             980,
+		Mem:                  memsys.DefaultConfig(),
+		RF:                   regfile.DefaultConfig(),
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.WarpSize <= 0 || c.WarpSize > 32:
+		return fmt.Errorf("simt: warp size %d out of range [1,32]", c.WarpSize)
+	case c.NumSMX <= 0:
+		return fmt.Errorf("simt: need at least one SMX")
+	case c.SchedulersPerSMX <= 0:
+		return fmt.Errorf("simt: need at least one scheduler")
+	case c.DispatchPerScheduler <= 0:
+		return fmt.Errorf("simt: need at least one dispatch unit")
+	case c.MaxWarpsPerSMX <= 0:
+		return fmt.Errorf("simt: need at least one resident warp")
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("simt: clock must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package simt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memsys"
+	"repro/internal/regfile"
+)
+
+// SMXProgram is everything one SMX needs to run: its kernel instance
+// (kernels hold per-SMX state such as the ray pool partition), the
+// architecture hooks, and a launch function that sets up the initial
+// warp mappings.
+type SMXProgram struct {
+	Kernel Kernel
+	Hooks  Hooks
+	// Launch configures the SMX's initial warps. If nil, LaunchAll(0)
+	// is used.
+	Launch func(s *SMX)
+}
+
+// Factory builds the per-SMX program for SMX id. The GPU calls it once
+// per SMX before the run starts.
+type Factory func(smxID int) (SMXProgram, error)
+
+// GPUResult is the merged outcome of a device run.
+type GPUResult struct {
+	Stats Stats
+	// PerSMX holds each SMX's individual stats.
+	PerSMX []Stats
+	// L1TexMissRate is the access-weighted L1 texture miss rate over
+	// all SMXs (the paper discusses it for the sponza analysis).
+	L1TexMissRate float64
+	// RFShuffleShare is the access-weighted share of register file
+	// accesses caused by ray shuffling (§4.4).
+	RFShuffleShare float64
+	// RFStats merges the per-SMX register file counters.
+	RFStats regfile.Stats
+}
+
+// RunGPU simulates the whole device: one goroutine per SMX over a
+// shared L2. Device cycles are the max over SMXs (they interact only
+// through the L2 in these workloads).
+func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l2 := memsys.NewL2(cfg.Mem)
+	smxs := make([]*SMX, cfg.NumSMX)
+	for i := range smxs {
+		prog, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("simt: factory for SMX %d: %w", i, err)
+		}
+		s, err := NewSMX(i, cfg, prog.Kernel, prog.Hooks, l2)
+		if err != nil {
+			return nil, err
+		}
+		if prog.Launch != nil {
+			prog.Launch(s)
+		} else {
+			s.LaunchAll(0)
+		}
+		smxs[i] = s
+	}
+	errs := make([]error, len(smxs))
+	var wg sync.WaitGroup
+	for i, s := range smxs {
+		wg.Add(1)
+		go func(i int, s *SMX) {
+			defer wg.Done()
+			_, errs[i] = s.Run()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simt: SMX %d: %w", i, err)
+		}
+	}
+	res := &GPUResult{PerSMX: make([]Stats, len(smxs))}
+	var texAcc, texMiss int64
+	for i, s := range smxs {
+		st := s.Stats()
+		res.PerSMX[i] = st
+		res.Stats.Add(st)
+		t := s.Mem().L1TexStats()
+		texAcc += t.Accesses
+		texMiss += t.Misses
+		rf := s.RF().Stats()
+		res.RFStats.OperandReads += rf.OperandReads
+		res.RFStats.OperandWrites += rf.OperandWrites
+		res.RFStats.ShuffleReads += rf.ShuffleReads
+		res.RFStats.ShuffleWrites += rf.ShuffleWrites
+		res.RFStats.BankConflictCycles += rf.BankConflictCycles
+		res.RFStats.ShuffleRetryCycles += rf.ShuffleRetryCycles
+	}
+	if texAcc > 0 {
+		res.L1TexMissRate = float64(texMiss) / float64(texAcc)
+	}
+	res.RFShuffleShare = res.RFStats.ShuffleShare()
+	return res, nil
+}
+
+// Partition splits n work items into parts nearly equal slices,
+// returning the [start, end) bounds of part i. Used to split ray
+// streams across SMXs.
+func Partition(n, parts, i int) (start, end int) {
+	if parts <= 0 {
+		return 0, n
+	}
+	base := n / parts
+	rem := n % parts
+	start = i*base + min(i, rem)
+	end = start + base
+	if i < rem {
+		end++
+	}
+	return start, end
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

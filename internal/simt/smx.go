@@ -1,0 +1,596 @@
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/memsys"
+	"repro/internal/regfile"
+)
+
+// SMX is one streaming multiprocessor: a set of resident warps driven
+// by greedy-then-oldest schedulers, a banked register file, and private
+// L1 caches over the shared L2. An SMX is single-goroutine; the GPU
+// runs one goroutine per SMX.
+type SMX struct {
+	ID     int
+	cfg    Config
+	kernel Kernel
+	voter  WarpVoter
+	hooks  Hooks
+
+	warps  []*Warp
+	mem    *memsys.SMXMem
+	rf     *regfile.File
+	blocks []BlockInfo
+
+	cycle    int64
+	liveWarp int // count of warps not Done
+	stats    Stats
+
+	// greedy scheduler state: last warp issued per scheduler
+	lastWarp []int
+
+	defaultSrcOps int
+}
+
+// NewSMX builds one SMX running kernel with the given hooks, attached
+// to the shared L2.
+func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 *memsys.L2) (*SMX, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if kernel == nil {
+		return nil, fmt.Errorf("simt: nil kernel")
+	}
+	blocks := kernel.Blocks()
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("simt: kernel has no blocks")
+	}
+	for i, b := range blocks {
+		if b.Insts <= 0 && b.MemInsts <= 0 {
+			return nil, fmt.Errorf("simt: block %d (%s) has no instructions", i, b.Name)
+		}
+	}
+	s := &SMX{
+		ID:            id,
+		cfg:           cfg,
+		kernel:        kernel,
+		hooks:         hooks,
+		blocks:        blocks,
+		mem:           memsys.NewSMXMem(cfg.Mem, l2),
+		rf:            regfile.New(cfg.RF),
+		lastWarp:      make([]int, cfg.SchedulersPerSMX),
+		defaultSrcOps: 2,
+	}
+	if v, ok := kernel.(WarpVoter); ok {
+		s.voter = v
+	}
+	s.warps = make([]*Warp, cfg.MaxWarpsPerSMX)
+	for i := range s.warps {
+		s.warps[i] = newWarp(i, cfg.WarpSize)
+	}
+	for i := range s.lastWarp {
+		s.lastWarp[i] = -1
+	}
+	return s, nil
+}
+
+// LaunchAll starts every warp at the kernel entry with the identity
+// mapping slotBase + warp*warpSize + lane.
+func (s *SMX) LaunchAll(slotBase int32) {
+	slots := make([]int32, s.cfg.WarpSize)
+	for _, w := range s.warps {
+		for l := range slots {
+			slots[l] = slotBase + int32(w.id*s.cfg.WarpSize+l)
+		}
+		w.Launch(s.kernel.Entry(), slots)
+	}
+	s.recountLive()
+}
+
+// LaunchMapped starts warp w at the entry block with an explicit
+// mapping (used by the DRS wiring, where warps map to rows).
+func (s *SMX) LaunchMapped(warp int, slots []int32) {
+	s.warps[warp].Launch(s.kernel.Entry(), slots)
+	s.recountLive()
+}
+
+func (s *SMX) recountLive() {
+	s.liveWarp = 0
+	for _, w := range s.warps {
+		if !w.Done() {
+			s.liveWarp++
+		}
+	}
+}
+
+// Warp returns warp i (architecture hooks use this to re-form warps).
+func (s *SMX) Warp(i int) *Warp { return s.warps[i] }
+
+// NumWarps returns the number of resident warps.
+func (s *SMX) NumWarps() int { return len(s.warps) }
+
+// Cycle returns the current cycle.
+func (s *SMX) Cycle() int64 { return s.cycle }
+
+// Mem returns the SMX's memory hierarchy view.
+func (s *SMX) Mem() *memsys.SMXMem { return s.mem }
+
+// RF returns the SMX's register file model.
+func (s *SMX) RF() *regfile.File { return s.rf }
+
+// Stats returns a snapshot of the SMX's counters.
+func (s *SMX) Stats() Stats {
+	st := s.stats
+	st.Cycles = s.cycle
+	return st
+}
+
+// Config returns the SMX's configuration.
+func (s *SMX) Config() Config { return s.cfg }
+
+// Run executes until all warps are done, returning the final stats.
+func (s *SMX) Run() (Stats, error) {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	for s.liveWarp > 0 {
+		s.step()
+		if s.cycle > maxCycles {
+			return s.Stats(), fmt.Errorf("simt: SMX %d exceeded %d cycles (%d warps live; deadlock?)",
+				s.ID, maxCycles, s.liveWarp)
+		}
+	}
+	return s.Stats(), nil
+}
+
+// RunFor advances the SMX by at most n cycles, stopping early if all
+// warps finish. Useful for interactive inspection and incremental
+// drivers.
+func (s *SMX) RunFor(n int64) error {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	for end := s.cycle + n; s.liveWarp > 0 && s.cycle < end; {
+		s.step()
+		if s.cycle > maxCycles {
+			return fmt.Errorf("simt: SMX %d exceeded %d cycles (%d warps live; deadlock?)",
+				s.ID, maxCycles, s.liveWarp)
+		}
+	}
+	return nil
+}
+
+// step advances the SMX by one cycle.
+func (s *SMX) step() {
+	s.cycle++
+	s.rf.Advance(s.cycle)
+	if s.hooks.Tick != nil {
+		s.hooks.Tick(s, s.cycle)
+	}
+	if s.cycle%64 == 0 {
+		for _, w := range s.warps {
+			switch {
+			case w.phase == phaseDone:
+				s.stats.SampledDone++
+			case w.phase == phaseParked:
+				s.stats.SampledParked++
+			case w.readyCycle > s.cycle+1:
+				s.stats.SampledMem++
+			case w.readyCycle == s.cycle+1 && w.phase == phaseEnter:
+				s.stats.SampledGate++
+			default:
+				s.stats.SampledExec++
+			}
+		}
+	}
+	nsched := s.cfg.SchedulersPerSMX
+	for sched := 0; sched < nsched; sched++ {
+		s.stats.IssueSlotsTotal += int64(s.cfg.DispatchPerScheduler)
+		// A scheduler keeps trying candidate warps until one issues:
+		// every failed issue attempt (gate stall, memory stall, warp
+		// retirement) leaves the warp non-issuable this cycle, so the
+		// loop terminates.
+		guard := 0
+		for {
+			w := s.pickWarp(sched)
+			if w == nil {
+				break
+			}
+			if !s.issueOne(w) {
+				guard++
+				if guard > len(s.warps) {
+					break
+				}
+				continue
+			}
+			s.stats.IssueSlotsUsed++
+			w.lastIssued = s.cycle
+			s.lastWarp[sched] = w.id
+			for d := 1; d < s.cfg.DispatchPerScheduler; d++ {
+				if !s.issueOne(w) {
+					break
+				}
+				s.stats.IssueSlotsUsed++
+			}
+			break
+		}
+	}
+}
+
+// pickWarp selects the next warp for a scheduler according to the
+// configured policy.
+func (s *SMX) pickWarp(sched int) *Warp {
+	if s.cfg.Scheduler == SchedRR {
+		return s.pickRR(sched)
+	}
+	// Greedy-then-oldest: prefer the warp this scheduler issued from
+	// last; otherwise the ready warp that has waited longest (oldest
+	// lastIssued, then lowest id).
+	if last := s.lastWarp[sched]; last >= 0 {
+		w := s.warps[last]
+		if w.id%s.cfg.SchedulersPerSMX == sched && s.issuable(w) {
+			return w
+		}
+	}
+	var best *Warp
+	for i := sched; i < len(s.warps); i += s.cfg.SchedulersPerSMX {
+		w := s.warps[i]
+		if !s.issuable(w) {
+			continue
+		}
+		if best == nil || w.lastIssued < best.lastIssued ||
+			(w.lastIssued == best.lastIssued && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// pickRR rotates through the scheduler's warps, starting after the one
+// it issued from last.
+func (s *SMX) pickRR(sched int) *Warp {
+	n := s.cfg.SchedulersPerSMX
+	count := (len(s.warps) - sched + n - 1) / n
+	if count <= 0 {
+		return nil
+	}
+	start := 0
+	if last := s.lastWarp[sched]; last >= 0 {
+		start = (last-sched)/n + 1
+	}
+	for k := 0; k < count; k++ {
+		idx := sched + ((start+k)%count)*n
+		w := s.warps[idx]
+		if s.issuable(w) {
+			return w
+		}
+	}
+	return nil
+}
+
+// issuable reports whether a warp could issue this cycle (ignoring
+// gate outcomes, which are only known at issue time).
+func (s *SMX) issuable(w *Warp) bool {
+	return w.phase != phaseDone && w.phase != phaseParked && w.readyCycle <= s.cycle
+}
+
+// issueOne attempts to issue one instruction from w. Returns false if
+// the warp could not issue (gate stall, memory stall, done, parked).
+func (s *SMX) issueOne(w *Warp) bool {
+	for {
+		if w.phase == phaseDone || w.phase == phaseParked || w.readyCycle > s.cycle {
+			return false
+		}
+		switch w.phase {
+		case phaseResolve:
+			s.resolve(w)
+		case phaseEnter:
+			if !s.enterBlock(w) {
+				return false
+			}
+		case phaseExec:
+			return s.issueInstruction(w)
+		}
+	}
+}
+
+// enterBlock runs the gate and semantics for the warp's current block.
+// Returns false on a gate stall or exit.
+func (s *SMX) enterBlock(w *Warp) bool {
+	b := &s.blocks[w.block]
+	if b.Gated && s.hooks.Gate != nil {
+		switch s.hooks.Gate(s, w.id, s.cycle) {
+		case GateStall:
+			s.stats.CtrlStalls++
+			// Push the warp's next attempt to the following cycle so a
+			// greedy scheduler does not spin on it within this cycle.
+			w.readyCycle = s.cycle + 1
+			return false
+		case GateExit:
+			s.retireWarp(w)
+			return false
+		}
+		// The gate may have remapped the warp (SetMapping resets phase
+		// to enter); re-read the block.
+		b = &s.blocks[w.block]
+	}
+	mask := w.ActiveMask()
+	if mask == 0 {
+		s.retireWarp(w)
+		return false
+	}
+	w.activeMask = mask
+	for l := 0; l < s.cfg.WarpSize; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		slot := w.slots[l]
+		if slot < 0 {
+			// Lane is in the mask but has no context: treat as exited.
+			w.res[l] = StepResult{Next: BlockExit}
+			continue
+		}
+		w.res[l].NMem = 0
+		s.kernel.Step(slot, w.block, &w.res[l])
+	}
+	if s.voter != nil {
+		slots := make([]int32, 0, s.cfg.WarpSize)
+		results := make([]*StepResult, 0, s.cfg.WarpSize)
+		for l := 0; l < s.cfg.WarpSize; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				slots = append(slots, w.slots[l])
+				results = append(results, &w.res[l])
+			}
+		}
+		s.voter.Vote(w.id, w.block, slots, results)
+	}
+	w.insRemaining = b.Insts
+	w.memRemaining = b.MemInsts
+	w.memIdx = 0
+	w.phase = phaseExec
+	return true
+}
+
+// issueInstruction issues one instruction of the current block.
+func (s *SMX) issueInstruction(w *Warp) bool {
+	b := &s.blocks[w.block]
+	active := bits.OnesCount32(w.activeMask)
+	srcOps := b.SrcOps
+	if srcOps <= 0 {
+		srcOps = s.defaultSrcOps
+	}
+	s.stats.WarpInstrs++
+	s.stats.ActiveThreadSum += int64(active)
+	if active >= 0 && active < len(s.stats.ActiveHist) {
+		s.stats.ActiveHist[active]++
+	}
+	switch b.Tag {
+	case TagSI:
+		s.stats.SIInstrs++
+		s.stats.SIActiveSum += int64(active)
+	case TagCtrl:
+		s.stats.CtrlInstrs++
+	}
+	// Register file operand collection; conflicts stall the next issue.
+	conflicts := s.rf.CollectOperands(s.cycle, w.id, w.block*4, srcOps)
+	if conflicts > 0 {
+		w.AddStall(s.cycle, conflicts)
+	}
+
+	// Memory instructions issue first so their latency overlaps the
+	// block's ALU instructions (compilers hoist loads; the scoreboard
+	// stalls only at the use).
+	if w.memRemaining > 0 {
+		s.issueMem(w)
+		w.memRemaining--
+	} else if w.insRemaining > 0 {
+		w.insRemaining--
+	}
+	if w.insRemaining == 0 && w.memRemaining == 0 {
+		w.phase = phaseResolve
+		// Block completion consumes the loaded data: expose whatever
+		// latency the ALU work did not cover.
+		if w.memReady > w.readyCycle {
+			w.readyCycle = w.memReady
+		}
+		w.memReady = 0
+	}
+	return true
+}
+
+// issueMem performs the coalesced memory access for memory instruction
+// slot w.memIdx of the current block.
+func (s *SMX) issueMem(w *Warp) {
+	idx := w.memIdx
+	w.memIdx++
+	var addrs [32]uint64
+	n := 0
+	var space memsys.Space
+	var maxBytes uint32
+	for l := 0; l < s.cfg.WarpSize; l++ {
+		if w.activeMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		r := &w.res[l]
+		if idx >= r.NMem {
+			continue
+		}
+		m := r.Mem[idx]
+		addrs[n] = m.Addr
+		n++
+		space = m.Space
+		if m.Bytes > maxBytes {
+			maxBytes = m.Bytes
+		}
+	}
+	s.stats.MemInstrs++
+	if n == 0 {
+		return
+	}
+	lat, txns := s.mem.WarpAccess(space, addrs[:n], maxBytes)
+	s.stats.MemTransactions += int64(txns)
+	if ready := s.cycle + int64(lat); ready > w.memReady {
+		w.memReady = ready
+	}
+}
+
+// resolve applies the divergence outcome of the finished block.
+func (s *SMX) resolve(w *Warp) {
+	mask := w.activeMask
+	// Retire exiting lanes first.
+	var exitMask uint32
+	for l := 0; l < s.cfg.WarpSize; l++ {
+		if mask&(1<<uint(l)) != 0 && w.res[l].Next == BlockExit {
+			exitMask |= 1 << uint(l)
+		}
+	}
+	if exitMask != 0 {
+		s.stats.Retired += int64(w.retireLanes(exitMask))
+		mask &^= exitMask
+	}
+	if len(w.stack) == 0 {
+		s.retireWarp(w)
+		return
+	}
+	if mask == 0 {
+		// All of this block's lanes exited; resume whatever remains on
+		// the stack.
+		w.popReconverged()
+		if len(w.stack) == 0 {
+			s.retireWarp(w)
+			return
+		}
+		w.block = w.stack[len(w.stack)-1].pc
+		w.phase = phaseEnter
+		return
+	}
+	// Gather distinct targets among surviving lanes.
+	lanes := w.laneBuf[:0]
+	targets := w.targetBuf[:0]
+	uniq := make(map[int]uint32, 4)
+	order := make([]int, 0, 4)
+	for l := 0; l < s.cfg.WarpSize; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		t := w.res[l].Next
+		if _, seen := uniq[t]; !seen {
+			order = append(order, t)
+		}
+		uniq[t] |= 1 << uint(l)
+		lanes = append(lanes, l)
+		targets = append(targets, t)
+	}
+	w.laneBuf = lanes
+	w.targetBuf = targets
+
+	if s.hooks.OnBlockEnd != nil {
+		if s.hooks.OnBlockEnd(s, w.id, w.block, lanes, targets) {
+			s.recountLive()
+			return
+		}
+	}
+	if len(order) > 1 && s.hooks.OnDiverge != nil {
+		if s.hooks.OnDiverge(s, w.id, w.block, lanes, targets) {
+			s.recountLive()
+			return
+		}
+	}
+
+	top := &w.stack[len(w.stack)-1]
+	if len(order) == 1 {
+		top.pc = order[0]
+		w.popReconverged()
+		if len(w.stack) == 0 {
+			s.retireWarp(w)
+			return
+		}
+		w.block = w.stack[len(w.stack)-1].pc
+		w.phase = phaseEnter
+		return
+	}
+
+	// Divergence: park the parent at the reconvergence block and push
+	// one entry per non-reconverging target. Deterministic push order:
+	// descending block id so loops (backward targets) run first.
+	reconv := s.blocks[w.block].Reconv
+	top.pc = reconv
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	for _, t := range order {
+		if t == reconv {
+			continue // those lanes wait at the reconvergence point
+		}
+		w.stack = append(w.stack, stackEntry{reconv: reconv, pc: t, mask: uniq[t]})
+	}
+	if len(w.stack) > 4*s.cfg.WarpSize {
+		panic(fmt.Sprintf("simt: runaway reconvergence stack (depth %d) at block %s",
+			len(w.stack), s.blocks[w.block].Name))
+	}
+	w.popReconverged()
+	w.block = w.stack[len(w.stack)-1].pc
+	w.phase = phaseEnter
+}
+
+// retireWarp marks a warp done and fires the hook.
+func (s *SMX) retireWarp(w *Warp) {
+	if w.phase == phaseDone {
+		return
+	}
+	w.phase = phaseDone
+	w.stack = w.stack[:0]
+	s.liveWarp--
+	if s.hooks.OnWarpDone != nil {
+		s.hooks.OnWarpDone(s, w.id)
+	}
+}
+
+// RecountLive recomputes the live-warp counter after hooks have
+// launched or resumed warps.
+func (s *SMX) RecountLive() { s.recountLive() }
+
+// LiveWarps returns the number of warps that are not done (running or
+// parked).
+func (s *SMX) LiveWarps() int { return s.liveWarp }
+
+// InjectInstrs records `count` extra warp instructions with `active`
+// active threads each, tagged `tag`, and charges the warp the issue
+// time plus `extraStall` cycles. Architecture hooks use this for
+// instruction overheads the kernel's block table does not contain
+// (DMK's micro-kernel spawn data dumping/loading).
+func (s *SMX) InjectInstrs(warp *Warp, count, active int, tag Tag, extraStall int) {
+	if count <= 0 {
+		return
+	}
+	s.stats.WarpInstrs += int64(count)
+	s.stats.ActiveThreadSum += int64(count * active)
+	if active >= 0 && active < len(s.stats.ActiveHist) {
+		s.stats.ActiveHist[active] += int64(count)
+	}
+	if tag == TagSI {
+		s.stats.SIInstrs += int64(count)
+		s.stats.SIActiveSum += int64(count * active)
+	}
+	issueCycles := (count + s.cfg.DispatchPerScheduler - 1) / s.cfg.DispatchPerScheduler
+	warp.AddStall(s.cycle, issueCycles+extraStall)
+}
+
+// AddBarrierStall records warp-cycles spent parked at a compaction
+// barrier (TBC).
+func (s *SMX) AddBarrierStall(cycles int64) {
+	if cycles > 0 {
+		s.stats.BarrierStallCycles += cycles
+	}
+}
+
+// AddSpawnConflict records cycles lost to spawn-memory contention
+// (DMK).
+func (s *SMX) AddSpawnConflict(cycles int64) {
+	if cycles > 0 {
+		s.stats.SpawnConflictCycles += cycles
+	}
+}

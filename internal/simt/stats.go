@@ -1,0 +1,147 @@
+package simt
+
+// Stats accumulates the counters the experiments report. All counts are
+// per-SMX; GPU-level results merge the per-SMX stats.
+type Stats struct {
+	Cycles int64
+
+	// WarpInstrs is the total number of warp instructions issued
+	// (all tags).
+	WarpInstrs int64
+	// ActiveThreadSum is the sum over issued instructions of the number
+	// of active threads, so SIMD efficiency = ActiveThreadSum /
+	// (WarpInstrs * WarpSize).
+	ActiveThreadSum int64
+	// ActiveHist[k] counts instructions issued with exactly k active
+	// threads (k in 1..32).
+	ActiveHist [33]int64
+
+	// SIInstrs / SIActiveSum cover TagSI instructions only (micro-
+	// kernel spawn overhead, separated in Figure 10).
+	SIInstrs    int64
+	SIActiveSum int64
+
+	// CtrlInstrs counts TagCtrl (rdctrl) instructions issued.
+	CtrlInstrs int64
+	// CtrlStalls counts scheduler slots where a warp's rdctrl issue was
+	// suspended by the gate (Figure 9's warp issue stall rate is
+	// CtrlStalls / (CtrlStalls + CtrlInstrs)).
+	CtrlStalls int64
+
+	// MemInstrs counts memory instructions issued; MemTransactions the
+	// coalesced line transactions they produced.
+	MemInstrs       int64
+	MemTransactions int64
+
+	// IssueSlotsTotal counts scheduler dispatch opportunities;
+	// IssueSlotsUsed those that issued an instruction.
+	IssueSlotsTotal int64
+	IssueSlotsUsed  int64
+
+	// BarrierStallCycles counts warp-cycles spent parked at
+	// compaction barriers (TBC).
+	BarrierStallCycles int64
+	// SpawnConflictCycles counts extra cycles from spawn-memory bank
+	// conflicts (DMK).
+	SpawnConflictCycles int64
+
+	// Retired counts thread contexts that ran to completion.
+	Retired int64
+
+	// Sampled warp-state census (taken every sampleInterval cycles):
+	// how many warp-samples were executing, stalled short (gate retry),
+	// stalled long (memory), parked, or done. Diagnostic only.
+	SampledExec, SampledGate, SampledMem, SampledParked, SampledDone int64
+}
+
+// Add merges o into s, keeping Cycles as the max (SMXs run in
+// parallel; the device finishes when the slowest SMX finishes).
+func (s *Stats) Add(o Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.WarpInstrs += o.WarpInstrs
+	s.ActiveThreadSum += o.ActiveThreadSum
+	for i := range s.ActiveHist {
+		s.ActiveHist[i] += o.ActiveHist[i]
+	}
+	s.SIInstrs += o.SIInstrs
+	s.SIActiveSum += o.SIActiveSum
+	s.CtrlInstrs += o.CtrlInstrs
+	s.CtrlStalls += o.CtrlStalls
+	s.MemInstrs += o.MemInstrs
+	s.MemTransactions += o.MemTransactions
+	s.IssueSlotsTotal += o.IssueSlotsTotal
+	s.IssueSlotsUsed += o.IssueSlotsUsed
+	s.BarrierStallCycles += o.BarrierStallCycles
+	s.SpawnConflictCycles += o.SpawnConflictCycles
+	s.Retired += o.Retired
+	s.SampledExec += o.SampledExec
+	s.SampledGate += o.SampledGate
+	s.SampledMem += o.SampledMem
+	s.SampledParked += o.SampledParked
+	s.SampledDone += o.SampledDone
+}
+
+// SIMDEfficiency returns ActiveThreadSum / (WarpInstrs * warpSize), the
+// quantity Figures 2 and 10 report.
+func (s Stats) SIMDEfficiency(warpSize int) float64 {
+	if s.WarpInstrs == 0 {
+		return 0
+	}
+	return float64(s.ActiveThreadSum) / float64(s.WarpInstrs*int64(warpSize))
+}
+
+// Breakdown returns the fraction of issued instructions in each
+// quarter-warp activity band (W1:8, W9:16, W17:24, W25:32 for a 32-wide
+// warp), plus the fraction that were spawn-related (SI). This matches
+// the paper's Wm:n utilization breakdown.
+type Breakdown struct {
+	W1to8, W9to16, W17to24, W25to32 float64
+	SI                              float64
+}
+
+// UtilizationBreakdown computes the Wm:n histogram bands.
+func (s Stats) UtilizationBreakdown(warpSize int) Breakdown {
+	if s.WarpInstrs == 0 {
+		return Breakdown{}
+	}
+	q := warpSize / 4
+	var b Breakdown
+	total := float64(s.WarpInstrs)
+	for k := 1; k <= warpSize; k++ {
+		frac := float64(s.ActiveHist[k]) / total
+		switch {
+		case k <= q:
+			b.W1to8 += frac
+		case k <= 2*q:
+			b.W9to16 += frac
+		case k <= 3*q:
+			b.W17to24 += frac
+		default:
+			b.W25to32 += frac
+		}
+	}
+	b.SI = float64(s.SIInstrs) / total
+	return b
+}
+
+// CtrlStallRate returns the fraction of rdctrl issue attempts that were
+// suspended (Figure 9).
+func (s Stats) CtrlStallRate() float64 {
+	attempts := s.CtrlStalls + s.CtrlInstrs
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.CtrlStalls) / float64(attempts)
+}
+
+// MraysPerSec converts a retired-ray count and the recorded cycles to
+// the paper's Mrays/s metric at the given clock.
+func (s Stats) MraysPerSec(rays int64, clockMHz int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) / (float64(clockMHz) * 1e6)
+	return float64(rays) / 1e6 / seconds
+}

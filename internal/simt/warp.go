@@ -1,0 +1,178 @@
+package simt
+
+import "math/bits"
+
+// warpPhase tracks where a warp is in its block execution cycle.
+type warpPhase uint8
+
+const (
+	phaseEnter   warpPhase = iota // needs gate check + Step for its block
+	phaseExec                     // issuing the block's instructions
+	phaseResolve                  // block finished, divergence pending
+	phaseParked                   // suspended by an architecture hook (TBC barrier)
+	phaseDone                     // all lanes retired
+)
+
+// stackEntry is one level of the IPDOM reconvergence stack.
+type stackEntry struct {
+	reconv int    // block where this entry's threads reconverge
+	pc     int    // next block for this entry's threads
+	mask   uint32 // active lanes
+}
+
+// noReconv marks the bottom stack entry, which never pops.
+const noReconv = -2
+
+// Warp is one resident warp of an SMX.
+type Warp struct {
+	id    int
+	phase warpPhase
+
+	// slots maps lane -> kernel context slot (-1 = empty lane).
+	slots []int32
+	stack []stackEntry
+
+	block        int
+	activeMask   uint32 // mask captured at block entry
+	insRemaining int
+	memRemaining int
+	memIdx       int
+
+	readyCycle int64
+	// memReady is when the current block's outstanding memory data
+	// arrives; loads issue early and overlap with the block's ALU
+	// instructions, so the warp only stalls on it at block completion.
+	memReady   int64
+	lastIssued int64
+
+	res []StepResult // per-lane results for the current block
+
+	// scratch reused during resolve
+	laneBuf   []int
+	targetBuf []int
+}
+
+func newWarp(id, warpSize int) *Warp {
+	return &Warp{
+		id:    id,
+		slots: make([]int32, warpSize),
+		res:   make([]StepResult, warpSize),
+		phase: phaseDone,
+	}
+}
+
+// Launch activates the warp at the given entry block with the lane ->
+// slot mapping. Lanes with slot -1 are masked off.
+func (w *Warp) Launch(entry int, slots []int32) {
+	copy(w.slots, slots)
+	var mask uint32
+	for l, s := range w.slots {
+		if s >= 0 {
+			mask |= 1 << uint(l)
+		}
+	}
+	w.stack = w.stack[:0]
+	if mask != 0 {
+		w.stack = append(w.stack, stackEntry{reconv: noReconv, pc: entry, mask: mask})
+		w.phase = phaseEnter
+	} else {
+		w.phase = phaseDone
+	}
+	w.block = entry
+	w.readyCycle = 0
+}
+
+// ID returns the warp's index within its SMX.
+func (w *Warp) ID() int { return w.id }
+
+// Done reports whether all the warp's lanes have retired.
+func (w *Warp) Done() bool { return w.phase == phaseDone }
+
+// Parked reports whether the warp is suspended at a barrier.
+func (w *Warp) Parked() bool { return w.phase == phaseParked }
+
+// Block returns the warp's current block.
+func (w *Warp) Block() int { return w.block }
+
+// Slots returns the warp's lane -> slot mapping. The returned slice is
+// the warp's own; callers must not retain it across engine steps.
+func (w *Warp) Slots() []int32 { return w.slots }
+
+// ActiveMask returns the mask of the top reconvergence stack entry, or
+// 0 if the warp is done.
+func (w *Warp) ActiveMask() uint32 {
+	if len(w.stack) == 0 {
+		return 0
+	}
+	return w.stack[len(w.stack)-1].mask
+}
+
+// StackDepth returns the current reconvergence stack depth.
+func (w *Warp) StackDepth() int { return len(w.stack) }
+
+// AddStall delays the warp's next issue by the given number of cycles
+// beyond `now` (architecture hooks use this for spawn-memory conflicts
+// and shuffle costs).
+func (w *Warp) AddStall(now int64, cycles int) {
+	target := now + int64(cycles)
+	if target > w.readyCycle {
+		w.readyCycle = target
+	}
+}
+
+// SetMapping replaces the warp's lane -> slot mapping and resets its
+// reconvergence stack to a single full entry at block `pc`. Lanes with
+// slot -1 are masked off. Architecture hooks (DRS renaming, DMK
+// respawn, TBC compaction) use this to re-form the warp.
+func (w *Warp) SetMapping(slots []int32, pc int) {
+	w.Launch(pc, slots)
+}
+
+// Park suspends the warp (TBC barrier). Resume with SetMapping.
+func (w *Warp) Park() { w.phase = phaseParked }
+
+// Resume reactivates a parked (or retired) warp at block pc with a
+// fresh mapping. Retired warps may be resurrected because compaction
+// architectures hand pending thread contexts to whichever warps are
+// free.
+func (w *Warp) Resume(slots []int32, pc int) {
+	if w.phase != phaseParked && w.phase != phaseDone {
+		panic("simt: Resume on a warp that is still running")
+	}
+	w.Launch(pc, slots)
+}
+
+// retireLanes removes the given lanes from every stack entry, dropping
+// entries that become empty. Returns the number of lanes retired.
+func (w *Warp) retireLanes(mask uint32) int {
+	if mask == 0 {
+		return 0
+	}
+	n := bits.OnesCount32(mask)
+	out := w.stack[:0]
+	for _, e := range w.stack {
+		e.mask &^= mask
+		if e.mask != 0 {
+			out = append(out, e)
+		}
+	}
+	w.stack = out
+	for l := range w.slots {
+		if mask&(1<<uint(l)) != 0 {
+			w.slots[l] = -1
+		}
+	}
+	return n
+}
+
+// popReconverged pops stack entries whose pc reached their
+// reconvergence block.
+func (w *Warp) popReconverged() {
+	for len(w.stack) > 0 {
+		top := w.stack[len(w.stack)-1]
+		if top.reconv == noReconv || top.pc != top.reconv {
+			return
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the stream decoder never panics or over-allocates on
+// arbitrary bytes, and that anything it accepts round-trips.
+func FuzzRead(f *testing.F) {
+	// Seed with valid encodings and truncations thereof.
+	s := makeStream(17)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x53, 0x52, 0x44}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode and re-decode to the same rays.
+		var out bytes.Buffer
+		if err := st.Write(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		st2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(st2.Rays) != len(st.Rays) || st2.Bounce != st.Bounce {
+			t.Fatalf("round-trip mismatch")
+		}
+	})
+}
+
+// FuzzReadSet does the same for the set container.
+func FuzzReadSet(f *testing.F) {
+	var set Set
+	set.Scene = "s"
+	st := makeStream(5)
+	st.Bounce = 2
+	set.Streams[1] = *st
+	var buf bytes.Buffer
+	if err := set.WriteSet(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := set.WriteSet(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadSet(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func makeStream(n int) *Stream {
+	p := rng.NewPCG32(5, 5)
+	s := &Stream{Scene: "test", Bounce: 2}
+	for i := 0; i < n; i++ {
+		o := vec.New(p.Float32()*10, p.Float32()*10, p.Float32()*10)
+		d := vec.New(p.Float32()*2-1, p.Float32()*2-1, p.Float32()*2-1).Norm()
+		s.Rays = append(s.Rays, geom.NewRay(o, d))
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := makeStream(137)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scene != s.Scene || got.Bounce != s.Bounce {
+		t.Errorf("metadata mismatch: %q/%d", got.Scene, got.Bounce)
+	}
+	if len(got.Rays) != len(s.Rays) {
+		t.Fatalf("ray count %d vs %d", len(got.Rays), len(s.Rays))
+	}
+	for i := range got.Rays {
+		if got.Rays[i] != s.Rays[i] {
+			t.Fatalf("ray %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	s := &Stream{Scene: "empty", Bounce: 1}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rays) != 0 {
+		t.Errorf("expected no rays, got %d", len(got.Rays))
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Read(buf); err == nil {
+		t.Errorf("expected bad magic error")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	s := makeStream(10)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-13])); err == nil {
+		t.Errorf("expected truncation error")
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	var set Set
+	set.Scene = "x"
+	for b := 1; b <= MaxBounces; b++ {
+		set.Streams[b-1] = Stream{Bounce: b, Rays: make([]geom.Ray, b)}
+	}
+	if set.TotalRays() != 1+2+3+4+5+6+7+8 {
+		t.Errorf("TotalRays = %d", set.TotalRays())
+	}
+	if set.Bounce(3).Bounce != 3 {
+		t.Errorf("Bounce(3) = %+v", set.Bounce(3))
+	}
+}
+
+func TestBouncePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	var set Set
+	set.Bounce(0)
+}
+
+func TestCoherenceOrdering(t *testing.T) {
+	// Parallel rays: coherence ~1.
+	par := &Stream{}
+	for i := 0; i < 128; i++ {
+		par.Rays = append(par.Rays, geom.NewRay(vec.New(float32(i), 0, 0), vec.New(0, 0, 1)))
+	}
+	// Random rays: much lower coherence.
+	random := makeStream(128)
+	cp := par.Coherence(32)
+	cr := random.Coherence(32)
+	if cp < 0.999 {
+		t.Errorf("parallel coherence = %v", cp)
+	}
+	if cr >= 0.9 {
+		t.Errorf("random coherence suspiciously high: %v", cr)
+	}
+	if cp <= cr {
+		t.Errorf("expected parallel > random coherence: %v vs %v", cp, cr)
+	}
+}
+
+func TestCoherenceDegenerate(t *testing.T) {
+	s := &Stream{}
+	if s.Coherence(32) != 0 {
+		t.Errorf("empty stream coherence should be 0")
+	}
+	if makeStream(8).Coherence(0) != 0 {
+		t.Errorf("zero group size should be 0")
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	var set Set
+	set.Scene = "setscene"
+	for b := 1; b <= 3; b++ {
+		st := makeStream(10 * b)
+		st.Scene = "setscene"
+		st.Bounce = b
+		set.Streams[b-1] = *st
+	}
+	var buf bytes.Buffer
+	if err := set.WriteSet(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scene != "setscene" {
+		t.Errorf("scene = %q", got.Scene)
+	}
+	if got.TotalRays() != set.TotalRays() {
+		t.Errorf("total rays %d vs %d", got.TotalRays(), set.TotalRays())
+	}
+	for b := 1; b <= 3; b++ {
+		if len(got.Bounce(b).Rays) != 10*b {
+			t.Errorf("bounce %d rays = %d", b, len(got.Bounce(b).Rays))
+		}
+	}
+	// Empty bounces stay empty.
+	if len(got.Bounce(5).Rays) != 0 {
+		t.Errorf("bounce 5 should be empty")
+	}
+}
+
+func TestReadSetRejectsGarbage(t *testing.T) {
+	if _, err := ReadSet(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Errorf("garbage header accepted")
+	}
+	var buf bytes.Buffer
+	st := makeStream(3)
+	st.Bounce = 99 // invalid bounce number inside a set
+	if err := binaryWriteHeaderForTest(&buf, 1, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSet(&buf); err == nil {
+		t.Errorf("invalid bounce accepted")
+	}
+}
+
+// binaryWriteHeaderForTest writes a set header of n followed by the
+// given stream, for malformed-input tests.
+func binaryWriteHeaderForTest(buf *bytes.Buffer, n uint32, st *Stream) error {
+	if err := binary.Write(buf, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	return st.Write(buf)
+}
