@@ -1,0 +1,209 @@
+// Command drslint is the repo's determinism and kernel-program linter.
+// It runs two independent passes and exits nonzero if either finds
+// anything:
+//
+//   - Program verification: every registered kernel variant is built
+//     against every benchmark scene, statically verified (successor
+//     ranges, reconvergence points vs the computed immediate
+//     post-dominators, reachability, memory and operand budgets,
+//     architecture capabilities), and then dynamically explored — Step
+//     is driven from the entry block and every observed transition and
+//     memory emission is cross-checked against the declared program.
+//
+//   - Source lint: the determinism lint over the repo's non-test Go
+//     sources (map iteration feeding simulation state, wall-clock and
+//     global-RNG reads, goroutine captured-variable writes).
+//
+// Usage:
+//
+//	drslint [-mode all|prog|src] [-json] [-tris N] [-steps N] [src roots...]
+//
+// With -json the findings are emitted as one machine-readable object.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bvh"
+	"repro/internal/geom"
+	"repro/internal/kernels"
+	"repro/internal/progcheck"
+	"repro/internal/rng"
+	"repro/internal/scene"
+	"repro/internal/simt"
+	"repro/internal/vec"
+)
+
+// kernelVariant is one (name, caps, builder) row of the registry. The
+// builder constructs the kernel with verification disabled — drslint
+// reports findings itself rather than letting MustVerify panic.
+type kernelVariant struct {
+	name  string
+	caps  progcheck.Caps
+	build func(data *kernels.SceneData, pool *kernels.Pool, slots int) simt.Kernel
+}
+
+var variants = []kernelVariant{
+	{"aila", progcheck.Caps{}, func(d *kernels.SceneData, p *kernels.Pool, n int) simt.Kernel {
+		return kernels.NewAila(d, p, n, kernels.AilaConfig{Speculative: true, SkipVerify: true})
+	}},
+	{"aila-nospec", progcheck.Caps{}, func(d *kernels.SceneData, p *kernels.Pool, n int) simt.Kernel {
+		return kernels.NewAila(d, p, n, kernels.AilaConfig{SkipVerify: true})
+	}},
+	{"aila-anyhit", progcheck.Caps{}, func(d *kernels.SceneData, p *kernels.Pool, n int) simt.Kernel {
+		return kernels.NewAila(d, p, n, kernels.AilaConfig{Speculative: true, AnyHit: true, SkipVerify: true})
+	}},
+	{"whileif", progcheck.Caps{Gate: true, CtrlTag: true}, func(d *kernels.SceneData, p *kernels.Pool, n int) simt.Kernel {
+		return kernels.NewWhileIfConfigured(d, p, n, kernels.WhileIfConfig{SkipVerify: true})
+	}},
+	{"whileif-anyhit", progcheck.Caps{Gate: true, CtrlTag: true}, func(d *kernels.SceneData, p *kernels.Pool, n int) simt.Kernel {
+		return kernels.NewWhileIfConfigured(d, p, n, kernels.WhileIfConfig{AnyHit: true, SkipVerify: true})
+	}},
+}
+
+// report is the -json output shape.
+type report struct {
+	Program []progcheck.Finding    `json:"program"`
+	Source  []progcheck.SrcFinding `json:"source"`
+	// Explored summarizes dynamic coverage per kernel x scene, so a
+	// clean run can be judged for how much it actually exercised.
+	Explored []exploreSummary `json:"explored,omitempty"`
+}
+
+type exploreSummary struct {
+	Kernel string `json:"kernel"`
+	Scene  string `json:"scene"`
+	Steps  int    `json:"steps"`
+	Blocks int    `json:"blocks"`
+	Edges  int    `json:"edges"`
+}
+
+// sceneRays generates a deterministic ray set spanning the scene
+// bounds: origins jittered across the box, directions on the unit
+// sphere. Seeded PCG — identical on every run and platform.
+func sceneRays(s *scene.Scene, n int) []geom.Ray {
+	r := rng.NewPCG32(0x5EED, 0xCAFE)
+	span := s.Bounds.Max.Sub(s.Bounds.Min)
+	ones := vec.New(1, 1, 1)
+	rays := make([]geom.Ray, n)
+	for i := range rays {
+		o := s.Bounds.Min.Add(span.Mul(vecRand(r)))
+		d := vecRand(r).Scale(2).Sub(ones)
+		for d.Len2() < 1e-4 {
+			d = vecRand(r).Scale(2).Sub(ones)
+		}
+		rays[i] = geom.NewRay(o, d.Norm())
+	}
+	return rays
+}
+
+func vecRand(r *rng.PCG32) vec.V3 {
+	return vec.New(r.Float32(), r.Float32(), r.Float32())
+}
+
+func main() {
+	var (
+		mode    = flag.String("mode", "all", "which passes to run: all, prog (kernel programs), or src (source lint)")
+		jsonOut = flag.Bool("json", false, "emit findings as a single JSON object")
+		tris    = flag.Int("tris", 2000, "triangle budget per benchmark scene for program exploration")
+		steps   = flag.Int("steps", 0, "total Step budget per kernel x scene exploration (0 = progcheck default)")
+		slots   = flag.Int("slots", 256, "kernel slots (threads) to build and drive per exploration")
+	)
+	flag.Parse()
+	if *mode != "all" && *mode != "prog" && *mode != "src" {
+		fmt.Fprintf(os.Stderr, "drslint: unknown -mode %q; valid: all, prog, src\n", *mode)
+		os.Exit(2)
+	}
+
+	var rep report
+	fail := false
+
+	if *mode == "all" || *mode == "prog" {
+		progFindings, summaries, err := runProg(*tris, *steps, *slots)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drslint:", err)
+			os.Exit(2)
+		}
+		rep.Program = progFindings
+		rep.Explored = summaries
+		fail = fail || len(progFindings) > 0
+	}
+
+	if *mode == "all" || *mode == "src" {
+		roots := flag.Args()
+		if len(roots) == 0 {
+			roots = []string{"internal", "cmd"}
+		}
+		srcFindings, err := progcheck.LintDirs(roots...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drslint:", err)
+			os.Exit(2)
+		}
+		rep.Source = srcFindings
+		fail = fail || len(srcFindings) > 0
+	}
+
+	if *jsonOut {
+		// Stable shape for machine consumers: empty arrays, not null.
+		if rep.Program == nil {
+			rep.Program = []progcheck.Finding{}
+		}
+		if rep.Source == nil {
+			rep.Source = []progcheck.SrcFinding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "drslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range rep.Program {
+			fmt.Println(f.String())
+		}
+		for _, f := range rep.Source {
+			fmt.Println(f.String())
+		}
+		if !fail {
+			fmt.Printf("drslint: clean (%d kernel/scene explorations)\n", len(rep.Explored))
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// runProg verifies and explores every kernel variant against every
+// benchmark scene.
+func runProg(tris, stepBudget, slots int) ([]progcheck.Finding, []exploreSummary, error) {
+	var findings []progcheck.Finding
+	var summaries []exploreSummary
+	for _, b := range scene.Benchmarks {
+		sc := scene.Generate(b, tris)
+		bv, err := bvh.Build(sc.Tris, bvh.DefaultOptions())
+		if err != nil {
+			return nil, nil, fmt.Errorf("bvh %s: %w", b, err)
+		}
+		data := kernels.NewSceneData(bv)
+		rays := sceneRays(sc, slots)
+		for _, v := range variants {
+			pool := &kernels.Pool{Rays: rays}
+			k := v.build(data, pool, slots)
+			name := v.name + "@" + b.String()
+			findings = append(findings, progcheck.Verify(name, k, v.caps)...)
+			fs, cov := progcheck.Explore(name, k, progcheck.ExploreConfig{
+				MaxTotalSteps: stepBudget,
+				Slots:         slots,
+			})
+			findings = append(findings, fs...)
+			summaries = append(summaries, exploreSummary{
+				Kernel: v.name, Scene: b.String(),
+				Steps: cov.Steps, Blocks: cov.BlocksVisited, Edges: cov.EdgesObserved,
+			})
+		}
+	}
+	return findings, summaries, nil
+}

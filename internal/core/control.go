@@ -691,20 +691,30 @@ func (c *Control) WarpRow(w int) int { return c.warpRow[w] }
 // and row tables: every live slot appears in exactly one cell, bindings
 // are bijective, and busy counters are non-negative.
 func (c *Control) CheckInvariants() error {
-	seen := make(map[int32]int)
+	// Slot occupancy counted in a dense slice so the first violating
+	// slot (lowest id) is reported deterministically.
+	seen := make([]int, c.kernel.NumSlots())
+	live := 0
 	for r := range c.rows {
 		for _, s := range c.rows[r] {
-			if s >= 0 {
-				seen[s]++
+			if s < 0 {
+				continue
 			}
+			if int(s) >= len(seen) {
+				return fmt.Errorf("core: cell holds slot %d but kernel has %d slots", s, len(seen))
+			}
+			if seen[s] == 0 {
+				live++
+			}
+			seen[s]++
 		}
 	}
 	for s, n := range seen {
-		if n != 1 {
+		if n > 1 {
 			return fmt.Errorf("core: slot %d appears in %d cells", s, n)
 		}
 	}
-	if len(seen) > c.kernel.NumSlots() {
+	if live > c.kernel.NumSlots() {
 		return fmt.Errorf("core: more cells than slots")
 	}
 	for w, r := range c.warpRow {

@@ -169,6 +169,7 @@ func (w *Wrapper) onDiverge(s *simt.SMX, warp, block int, lanes []int, targets [
 		counts[t]++
 	}
 	major, majorN := targets[0], 0
+	//drslint:allow map-range -- lowest-target tie-break makes the pick order-independent
 	for t, n := range counts {
 		if n > majorN || (n == majorN && t < major) {
 			major, majorN = t, n
@@ -255,8 +256,9 @@ func (w *Wrapper) tick(s *simt.SMX, now int64) {
 	}
 	for {
 		best, bestN := -1, 0
+		//drslint:allow map-range -- lowest-target tie-break makes the pick order-independent
 		for t, q := range w.queues {
-			if len(q) > bestN {
+			if len(q) > bestN || (len(q) == bestN && best >= 0 && t < best) {
 				best, bestN = t, len(q)
 			}
 		}

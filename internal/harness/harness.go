@@ -12,9 +12,32 @@ import (
 	"repro/internal/dmk"
 	"repro/internal/geom"
 	"repro/internal/kernels"
+	"repro/internal/progcheck"
 	"repro/internal/simt"
 	"repro/internal/tbc"
 )
+
+// archCaps returns the progcheck capabilities an architecture provides:
+// only the DRS services gated blocks and TagCtrl instructions (its
+// rdctrl gate and control co-processor).
+func archCaps(a Arch) progcheck.Caps {
+	if a == ArchDRS {
+		return progcheck.Caps{Gate: true, CtrlTag: true}
+	}
+	return progcheck.Caps{}
+}
+
+// verifyKernel re-verifies a built kernel against the capabilities of
+// the architecture actually attached to it. The constructors verify
+// against the capabilities the kernel was designed for; this catches
+// mismatched pairings (e.g. a gated kernel on an architecture with no
+// gate hook, which would silently never stall).
+func verifyKernel(arch Arch, k simt.Kernel) error {
+	if fs := progcheck.Verify(arch.String(), k, archCaps(arch)); len(fs) > 0 {
+		return fmt.Errorf("harness: kernel program rejected for %s: %s (run cmd/drslint for the full report, or set Options.SkipProgCheck for deliberately-broken test programs)", arch, fs[0].Msg)
+	}
+	return nil
+}
 
 // Arch selects the ray traversal architecture to simulate.
 type Arch int
@@ -58,6 +81,11 @@ type Options struct {
 	DRS       core.Config
 	DMK       dmk.Config
 	TBC       tbc.Config
+	// SkipProgCheck disables the progcheck verification of the kernel
+	// program at build time (both the constructors' self-check and the
+	// harness's architecture-capability check). Only for tests that run
+	// deliberately malformed programs; real runs must verify.
+	SkipProgCheck bool
 }
 
 // DefaultOptions returns the paper's configuration: Table 1 GPU,
@@ -127,13 +155,27 @@ func Run(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Res
 		outs[id] = out
 		switch arch {
 		case ArchAila:
-			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, opt.Aila)
+			acfg := opt.Aila
+			acfg.SkipVerify = acfg.SkipVerify || opt.SkipProgCheck
+			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, acfg)
 			out.hits = k.Hits
+			if !opt.SkipProgCheck {
+				if err := verifyKernel(arch, k); err != nil {
+					return simt.SMXProgram{}, err
+				}
+			}
 			return simt.SMXProgram{Kernel: k}, nil
 		case ArchDRS:
 			slots := (opt.DRS.Rows() - 2) * cfg.WarpSize
-			k := kernels.NewWhileIfConfigured(data, pool, slots, opt.WhileIf)
+			wcfg := opt.WhileIf
+			wcfg.SkipVerify = wcfg.SkipVerify || opt.SkipProgCheck
+			k := kernels.NewWhileIfConfigured(data, pool, slots, wcfg)
 			out.hits = k.Hits
+			if !opt.SkipProgCheck {
+				if err := verifyKernel(arch, k); err != nil {
+					return simt.SMXProgram{}, err
+				}
+			}
 			ctrl, err := core.NewControl(opt.DRS, k)
 			if err != nil {
 				return simt.SMXProgram{}, err
@@ -145,14 +187,26 @@ func Run(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Res
 				Launch: ctrl.Launch,
 			}, nil
 		case ArchDMK:
-			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, kernels.AilaConfig{})
+			acfg := kernels.AilaConfig{SkipVerify: opt.SkipProgCheck}
+			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, acfg)
 			out.hits = k.Hits
+			if !opt.SkipProgCheck {
+				if err := verifyKernel(arch, k); err != nil {
+					return simt.SMXProgram{}, err
+				}
+			}
 			w := dmk.New(opt.DMK, k, cfg.MaxWarpsPerSMX, cfg.WarpSize)
 			out.dmk = w
 			return simt.SMXProgram{Kernel: k, Hooks: w.Hooks()}, nil
 		case ArchTBC:
-			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, kernels.AilaConfig{})
+			acfg := kernels.AilaConfig{SkipVerify: opt.SkipProgCheck}
+			k := kernels.NewAila(data, pool, cfg.MaxWarpsPerSMX*cfg.WarpSize, acfg)
 			out.hits = k.Hits
+			if !opt.SkipProgCheck {
+				if err := verifyKernel(arch, k); err != nil {
+					return simt.SMXProgram{}, err
+				}
+			}
 			w := tbc.New(opt.TBC, k, cfg.MaxWarpsPerSMX, cfg.WarpSize)
 			out.tbc = w
 			return simt.SMXProgram{Kernel: k, Hooks: w.Hooks()}, nil

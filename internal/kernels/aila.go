@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"repro/internal/geom"
+	"repro/internal/progcheck"
 	"repro/internal/simt"
 )
 
@@ -25,6 +26,9 @@ type AilaConfig struct {
 	// AnyHit makes the kernel an occlusion (shadow-ray) kernel: a ray
 	// terminates at its first hit instead of searching for the closest.
 	AnyHit bool
+	// SkipVerify skips the constructor-time progcheck verification
+	// (for tests that build deliberately malformed variants).
+	SkipVerify bool
 }
 
 // Aila is the software baseline ray traversal kernel ("while-while"
@@ -69,8 +73,29 @@ func NewAila(data *SceneData, pool *Pool, slots int, cfg AilaConfig) *Aila {
 		ailaOuterChk: {Name: "outerchk", Insts: 6, SrcOps: 2, Reconv: ailaInner},
 		ailaCommit:   {Name: "commit", Insts: 7, MemInsts: 1, SrcOps: 2},
 	}
+	if !cfg.SkipVerify {
+		progcheck.MustVerify("aila", k, progcheck.Caps{})
+	}
 	return k
 }
+
+// ailaSuccs is the static CFG: every target Step (and Vote, which can
+// only pick from the per-lane candidates) may produce per block.
+// outerchk's back-edge to inner is the paper's persistent-threads trick:
+// warps with a terminated ray jump back through the traversal loop to
+// pick up replacement work, so reconvergence is declared at the loop
+// header rather than the textbook post-dominator (commit).
+var ailaSuccs = [][]int{
+	ailaFetch:    {ailaInner, simt.BlockExit},
+	ailaInner:    {ailaInner, ailaLeafChk},
+	ailaLeafChk:  {ailaLeaf, ailaLeafChk, ailaOuterChk},
+	ailaLeaf:     {ailaLeaf, ailaLeafChk},
+	ailaOuterChk: {ailaCommit, ailaInner},
+	ailaCommit:   {ailaFetch},
+}
+
+// Successors implements simt.StaticCFG.
+func (k *Aila) Successors(block int) []int { return ailaSuccs[block] }
 
 // Blocks implements simt.Kernel.
 func (k *Aila) Blocks() []simt.BlockInfo { return k.blocks }

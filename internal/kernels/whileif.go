@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"repro/internal/geom"
+	"repro/internal/progcheck"
 	"repro/internal/simt"
 )
 
@@ -39,6 +40,9 @@ type WhileIfConfig struct {
 	LeafBurst  int
 	// AnyHit makes Kernel 1 an occlusion (shadow-ray) kernel.
 	AnyHit bool
+	// SkipVerify skips the constructor-time progcheck verification
+	// (for tests that build deliberately malformed variants).
+	SkipVerify bool
 }
 
 func (c WhileIfConfig) withDefaults() WhileIfConfig {
@@ -114,8 +118,27 @@ func NewWhileIfConfigured(data *SceneData, pool *Pool, slots int, cfg WhileIfCon
 		WiInner:  {Name: "inner", Insts: 26, MemInsts: 2, SrcOps: 3, Reconv: WiRdctrl},
 		WiLeaf:   {Name: "leaf", Insts: 18, MemInsts: 2, SrcOps: 3, Reconv: WiRdctrl},
 	}
+	if !cfg.SkipVerify {
+		// Kernel 1's rdctrl is gated and TagCtrl-classified, which only
+		// a DRS-capable architecture can service.
+		progcheck.MustVerify("whileif", k, progcheck.Caps{Gate: true, CtrlTag: true})
+	}
 	return k
 }
+
+// whileIfSuccs is the static CFG. Every body block returns to rdctrl —
+// the dispatch loop reconverges on itself (Reconv: WiRdctrl), which the
+// verifier accepts under the loop-header rule since the textbook
+// post-dominator of a persistent dispatch loop is the kernel exit.
+var whileIfSuccs = [][]int{
+	WiRdctrl: {WiFetch, WiInner, WiLeaf, simt.BlockExit},
+	WiFetch:  {WiRdctrl},
+	WiInner:  {WiInner, WiRdctrl},
+	WiLeaf:   {WiLeaf, WiRdctrl},
+}
+
+// Successors implements simt.StaticCFG.
+func (k *WhileIf) Successors(block int) []int { return whileIfSuccs[block] }
 
 // Blocks implements simt.Kernel.
 func (k *WhileIf) Blocks() []simt.BlockInfo { return k.blocks }

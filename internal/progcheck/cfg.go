@@ -1,0 +1,237 @@
+package progcheck
+
+import "math/bits"
+
+// graph is the exit-augmented control-flow graph of a kernel program:
+// nodes 0..n-1 are the program's basic blocks and node n is the virtual
+// exit that simt.BlockExit edges target. The engine retires exiting
+// lanes before divergence handling, so the exit node never participates
+// in reconvergence, but it anchors the post-dominator dataflow.
+type graph struct {
+	n     int // number of real blocks; exit node id is n
+	entry int
+	succ  [][]int // successor lists over node ids (exit included)
+}
+
+// exit returns the virtual exit node id.
+func (g *graph) exit() int { return g.n }
+
+// newGraph builds the exit-augmented graph from per-block successor
+// lists that use simt.BlockExit (-1) for lane retirement. Successor ids
+// outside [0, n) other than BlockExit are dropped here; the range check
+// in Verify reports them before any graph analysis runs.
+func newGraph(n, entry int, succs [][]int, blockExit int) *graph {
+	g := &graph{n: n, entry: entry, succ: make([][]int, n+1)}
+	for b := 0; b < n && b < len(succs); b++ {
+		seen := make(map[int]bool, len(succs[b]))
+		for _, t := range succs[b] {
+			if t == blockExit {
+				t = g.exit()
+			}
+			if t < 0 || t > n || seen[t] {
+				continue
+			}
+			seen[t] = true
+			g.succ[b] = append(g.succ[b], t)
+		}
+	}
+	return g
+}
+
+// bitset is a fixed-size bitset over graph nodes.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << uint(i%64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+func (s bitset) clear(i int)    { s[i/64] &^= 1 << uint(i%64) }
+
+func (s bitset) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+func (s bitset) copyFrom(o bitset) { copy(s, o) }
+
+// intersect ands o into s, reporting whether s changed.
+func (s bitset) intersect(o bitset) bool {
+	changed := false
+	for i := range s {
+		v := s[i] & o[i]
+		if v != s[i] {
+			s[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s bitset) equal(o bitset) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s bitset) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// reachableFrom returns the set of nodes reachable from start along
+// successor edges (start included).
+func (g *graph) reachableFrom(start int) bitset {
+	seen := newBitset(g.n + 1)
+	stack := []int{start}
+	seen.set(start)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range g.succ[v] {
+			if !seen.has(t) {
+				seen.set(t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// pred builds predecessor lists (over all nodes including exit).
+func (g *graph) pred() [][]int {
+	p := make([][]int, g.n+1)
+	for v := 0; v <= g.n; v++ {
+		for _, t := range g.succ[v] {
+			p[t] = append(p[t], v)
+		}
+	}
+	return p
+}
+
+// dominators computes the dominator set of every node with the
+// classic iterative dataflow: dom(v) = {v} ∪ ∩ dom(pred(v)), seeded at
+// the entry. Unreachable nodes keep the full set (callers filter on
+// reachability first).
+func (g *graph) dominators() []bitset {
+	preds := g.pred()
+	dom := make([]bitset, g.n+1)
+	for v := range dom {
+		dom[v] = newBitset(g.n + 1)
+		if v == g.entry {
+			dom[v].set(v)
+		} else {
+			dom[v].fill()
+		}
+	}
+	tmp := newBitset(g.n + 1)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v <= g.n; v++ {
+			if v == g.entry {
+				continue
+			}
+			tmp.fill()
+			any := false
+			for _, p := range preds[v] {
+				tmp.intersect(dom[p])
+				any = true
+			}
+			if !any {
+				continue
+			}
+			tmp.set(v)
+			if !tmp.equal(dom[v]) {
+				dom[v].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// postDominators computes the post-dominator set of every node, seeded
+// at the virtual exit: pdom(v) = {v} ∪ ∩ pdom(succ(v)). Nodes with no
+// path to the exit keep the full set; canReachExit distinguishes them.
+func (g *graph) postDominators() []bitset {
+	pdom := make([]bitset, g.n+1)
+	for v := range pdom {
+		pdom[v] = newBitset(g.n + 1)
+		if v == g.exit() {
+			pdom[v].set(v)
+		} else {
+			pdom[v].fill()
+		}
+	}
+	tmp := newBitset(g.n + 1)
+	for changed := true; changed; {
+		changed = false
+		for v := g.n - 1; v >= 0; v-- {
+			tmp.fill()
+			any := false
+			for _, t := range g.succ[v] {
+				tmp.intersect(pdom[t])
+				any = true
+			}
+			if !any {
+				continue
+			}
+			tmp.set(v)
+			if !tmp.equal(pdom[v]) {
+				pdom[v].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return pdom
+}
+
+// canReachExit returns, for every node, whether some path reaches the
+// virtual exit.
+func (g *graph) canReachExit() bitset {
+	preds := g.pred()
+	seen := newBitset(g.n + 1)
+	stack := []int{g.exit()}
+	seen.set(g.exit())
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[v] {
+			if !seen.has(p) {
+				seen.set(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// ipdom extracts the immediate post-dominator of v from the
+// post-dominator sets: the strict post-dominator p whose own set equals
+// v's strict set ({p} plus p's strict post-dominators). Returns -1 when
+// v has no strict post-dominator or no path to the exit.
+func ipdom(v int, pdom []bitset, reachesExit bitset) int {
+	if !reachesExit.has(v) {
+		return -1
+	}
+	n := len(pdom) - 1 // node count - 1 == exit id
+	strict := newBitset(n + 1)
+	strict.copyFrom(pdom[v])
+	strict.clear(v)
+	want := strict.count()
+	if want == 0 {
+		return -1
+	}
+	for p := 0; p <= n; p++ {
+		if p != v && strict.has(p) && pdom[p].count() == want && pdom[p].equal(strict) {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,158 @@
+package progcheck
+
+import (
+	"fmt"
+
+	"repro/internal/simt"
+)
+
+// ExploreConfig bounds the dynamic exploration of a kernel program.
+type ExploreConfig struct {
+	// MaxStepsPerSlot bounds the Step calls made for one slot (zero
+	// means the default of 4096).
+	MaxStepsPerSlot int
+	// MaxTotalSteps bounds the Step calls across all slots (zero means
+	// the default of 1 << 20).
+	MaxTotalSteps int
+	// Slots is the number of kernel slots to drive (zero means 64; the
+	// explorer stops early when the total budget runs out).
+	Slots int
+}
+
+func (c ExploreConfig) withDefaults() ExploreConfig {
+	if c.MaxStepsPerSlot <= 0 {
+		c.MaxStepsPerSlot = 4096
+	}
+	if c.MaxTotalSteps <= 0 {
+		c.MaxTotalSteps = 1 << 20
+	}
+	if c.Slots <= 0 {
+		c.Slots = 64
+	}
+	return c
+}
+
+// Coverage reports what the exploration observed, so callers can judge
+// how much of the declared program the run exercised.
+type Coverage struct {
+	// Steps is the number of Step calls made.
+	Steps int
+	// BlocksVisited counts distinct blocks entered.
+	BlocksVisited int
+	// EdgesObserved counts distinct (block, successor) transitions.
+	EdgesObserved int
+}
+
+// Explore drives Kernel.Step on a scratch kernel instance — one slot at
+// a time, from the entry block, following each slot's successor chain —
+// and cross-checks every observed transition against the declared
+// program: successors must be declared in the static CFG, and emitted
+// memory access counts must fit the block's MemInsts budget. The kernel
+// instance is consumed (its pool drains and its contexts mutate); build
+// a dedicated instance for exploration.
+//
+// Exploration is bounded, not exhaustive: it proves presence of
+// violations, never absence. Distinct findings are deduplicated by
+// (rule, block, successor).
+func Explore(name string, k simt.Kernel, cfg ExploreConfig) ([]Finding, Coverage) {
+	cfg = cfg.withDefaults()
+	blocks := k.Blocks()
+	n := len(blocks)
+	var cov Coverage
+	if n == 0 {
+		return []Finding{{Kernel: name, Rule: RuleNoBlocks, Block: -1, Msg: "kernel declares no blocks"}}, cov
+	}
+
+	// Declared successor sets, when the kernel provides them.
+	var declared []map[int]bool
+	if scfg, ok := k.(simt.StaticCFG); ok {
+		declared = make([]map[int]bool, n)
+		for b := 0; b < n; b++ {
+			declared[b] = make(map[int]bool)
+			for _, t := range scfg.Successors(b) {
+				declared[b][t] = true
+			}
+		}
+	}
+
+	var fs []Finding
+	seen := make(map[Finding]bool)
+	add := func(rule Rule, block int, format string, args ...any) {
+		f := Finding{Kernel: name, Rule: rule, Block: block, Msg: fmt.Sprintf(format, args...)}
+		if !seen[f] {
+			seen[f] = true
+			fs = append(fs, f)
+		}
+	}
+
+	visited := make([]bool, n)
+	edges := make(map[[2]int]bool)
+	entry := k.Entry()
+	if entry < 0 || entry >= n {
+		return []Finding{{Kernel: name, Rule: RuleEntryRange, Block: -1,
+			Msg: fmt.Sprintf("entry block %d out of range [0,%d)", entry, n)}}, cov
+	}
+
+	// Clamp to the kernel's slot count when it exposes one (all kernels
+	// in this repo do); stepping a slot the kernel never allocated would
+	// panic inside Step.
+	if sized, ok := k.(interface{ NumSlots() int }); ok {
+		if ns := sized.NumSlots(); cfg.Slots > ns {
+			cfg.Slots = ns
+		}
+	}
+
+	var res simt.StepResult
+	total := 0
+	for slot := 0; slot < cfg.Slots && total < cfg.MaxTotalSteps; slot++ {
+		block := entry
+		for step := 0; step < cfg.MaxStepsPerSlot && total < cfg.MaxTotalSteps; step++ {
+			res = simt.StepResult{}
+			k.Step(int32(slot), block, &res)
+			total++
+			if !visited[block] {
+				visited[block] = true
+				cov.BlocksVisited++
+			}
+
+			info := &blocks[block]
+			if res.NMem < 0 || res.NMem > simt.MaxMemPerStep {
+				add(RuleMemOverflow, block, "%s emitted NMem=%d; a step carries at most %d accesses",
+					blockName(blocks, block), res.NMem, simt.MaxMemPerStep)
+			} else if res.NMem > info.MemInsts {
+				add(RuleMemOverflow, block, "%s emitted %d memory accesses but declares MemInsts=%d; the engine would drop the excess",
+					blockName(blocks, block), res.NMem, info.MemInsts)
+			}
+
+			next := res.Next
+			if next != simt.BlockExit && (next < 0 || next >= n) {
+				add(RuleSuccRange, block, "%s stepped to successor %d, out of range [0,%d)",
+					blockName(blocks, block), next, n)
+				break
+			}
+			if declared != nil && !declared[block][next] {
+				add(RuleEdgeUndeclared, block, "%s stepped to %s, an edge the static CFG does not declare",
+					blockName(blocks, block), nodeNameOrExit(blocks, next))
+			}
+			if !edges[[2]int{block, next}] {
+				edges[[2]int{block, next}] = true
+				cov.EdgesObserved++
+			}
+			if next == simt.BlockExit {
+				break
+			}
+			block = next
+		}
+	}
+	cov.Steps = total
+	return fs, cov
+}
+
+// nodeNameOrExit formats a successor for diagnostics, including the
+// BlockExit pseudo-target.
+func nodeNameOrExit(blocks []simt.BlockInfo, t int) string {
+	if t == simt.BlockExit {
+		return "BlockExit"
+	}
+	return blockName(blocks, t)
+}

@@ -1,0 +1,475 @@
+package progcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The simulator must be bit-reproducible: the same scene and seed must
+// produce the same cycle counts on every run, or the paper's figures
+// cannot be regenerated and regressions cannot be diffed. The source
+// lint flags the three Go constructs that most commonly break that:
+//
+//   - map-range: ranging over a map touches elements in randomized
+//     order; if the loop body feeds simulation state (picks a winner,
+//     mutates counters, launches warps), results differ run to run.
+//   - wallclock / global-rand: time.Now and the global math/rand
+//     functions smuggle ambient state into what must be a pure function
+//     of the inputs.
+//   - goroutine-captured-write: a `go func(){...}` that assigns to a
+//     variable captured from the enclosing scope is a data race unless
+//     externally synchronized; races are nondeterminism at best.
+//
+// The analysis is deliberately syntactic (go/ast + go/parser, no type
+// checker): map types are inferred from declarations visible in the
+// same package — struct fields, package vars, and local `make(map...)`
+// or map-literal declarations. That misses maps that arrive through
+// interfaces or other packages, and a lint that can miss is fine: it is
+// a tripwire, not a proof.
+//
+// Intentional, order-insensitive uses are suppressed with a comment on
+// the statement or the line above it:
+//
+//	//drslint:allow map-range -- selection has a deterministic tie-break
+
+// SrcCheck identifies one source-lint diagnostic class.
+type SrcCheck string
+
+// Source lint checks.
+const (
+	// CheckMapRange: range over a map in simulation code.
+	CheckMapRange SrcCheck = "map-range"
+	// CheckWallClock: wall-clock time read in simulation code.
+	CheckWallClock SrcCheck = "wallclock"
+	// CheckGlobalRand: use of math/rand's global (process-seeded)
+	// functions.
+	CheckGlobalRand SrcCheck = "global-rand"
+	// CheckGoCapturedWrite: goroutine body assigns to a captured
+	// variable.
+	CheckGoCapturedWrite SrcCheck = "goroutine-captured-write"
+)
+
+// SrcFinding is one source-lint diagnostic.
+type SrcFinding struct {
+	// File is the path as given to LintDirs (module-relative when the
+	// roots are).
+	File string `json:"file"`
+	// Line is the 1-based source line.
+	Line int `json:"line"`
+	// Check classifies the diagnostic.
+	Check SrcCheck `json:"check"`
+	// Msg is the human-readable diagnostic.
+	Msg string `json:"msg"`
+}
+
+func (f SrcFinding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Check, f.Msg)
+}
+
+// allowDirective is the suppression comment prefix.
+const allowDirective = "//drslint:allow "
+
+// LintDirs lints every non-test .go file under the given roots
+// (recursively) and returns the findings sorted by file and line.
+func LintDirs(roots ...string) ([]SrcFinding, error) {
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if path == root {
+					return nil // never skip the root itself (it may be ".")
+				}
+				if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+
+	// Group by directory so same-package declarations (struct fields,
+	// package vars) inform map-type inference.
+	byDir := make(map[string][]string)
+	var dirs []string
+	for _, f := range files {
+		d := filepath.Dir(f)
+		if _, ok := byDir[d]; !ok {
+			dirs = append(dirs, d)
+		}
+		byDir[d] = append(byDir[d], f)
+	}
+	sort.Strings(dirs)
+
+	var all []SrcFinding
+	for _, d := range dirs {
+		fs, err := lintPackageFiles(byDir[d])
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		return all[i].Line < all[j].Line
+	})
+	return all, nil
+}
+
+// LintSource lints a single file's source text (testing helper; the
+// package context is just this file).
+func LintSource(filename, src string) ([]SrcFinding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	decls := collectMapDecls([]*ast.File{f})
+	return lintFile(fset, filename, f, decls), nil
+}
+
+func lintPackageFiles(paths []string) ([]SrcFinding, error) {
+	fset := token.NewFileSet()
+	parsed := make([]*ast.File, 0, len(paths))
+	names := make([]string, 0, len(paths))
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("progcheck: parse %s: %w", p, err)
+		}
+		parsed = append(parsed, f)
+		names = append(names, p)
+	}
+	decls := collectMapDecls(parsed)
+	var all []SrcFinding
+	for i, f := range parsed {
+		all = append(all, lintFile(fset, names[i], f, decls)...)
+	}
+	return all, nil
+}
+
+// mapDecls records which names the package declares with map types:
+// struct fields ("Type.field" and bare "field") and package-level vars.
+type mapDecls struct {
+	fields map[string]bool // field names of map type anywhere in the package
+	vars   map[string]bool // package-level var names of map type
+}
+
+func isMapType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return isMapType(t.X)
+	}
+	return false
+}
+
+func collectMapDecls(files []*ast.File) *mapDecls {
+	d := &mapDecls{fields: make(map[string]bool), vars: make(map[string]bool)}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.StructType:
+				for _, fl := range t.Fields.List {
+					if isMapType(fl.Type) {
+						for _, name := range fl.Names {
+							d.fields[name.Name] = true
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if t.Tok == token.VAR {
+					for _, spec := range t.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						if vs.Type != nil && isMapType(vs.Type) {
+							for _, name := range vs.Names {
+								d.vars[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return d
+}
+
+// lintFile runs all checks over one file.
+func lintFile(fset *token.FileSet, path string, f *ast.File, decls *mapDecls) []SrcFinding {
+	allowed := collectAllows(f, fset)
+	var fs []SrcFinding
+	add := func(pos token.Pos, check SrcCheck, format string, args ...any) {
+		line := fset.Position(pos).Line
+		if allowed[line][check] || allowed[line-1][check] {
+			return
+		}
+		fs = append(fs, SrcFinding{File: path, Line: line, Check: check, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Names bound to the math/rand and time imports in this file.
+	randNames := importNames(f, "math/rand", "math/rand/v2")
+	timeNames := importNames(f, "time")
+
+	var walk func(n ast.Node, localMaps map[string]bool)
+	walk = func(n ast.Node, localMaps map[string]bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncDecl:
+				if t.Body != nil {
+					// Fresh local-map scope per function.
+					walk(t.Body, make(map[string]bool))
+					return false
+				}
+			case *ast.AssignStmt:
+				// Track locals declared as maps: x := make(map[...]...),
+				// x := map[...]...{}.
+				if t.Tok == token.DEFINE {
+					for i, lhs := range t.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || i >= len(t.Rhs) {
+							continue
+						}
+						if exprMakesMap(t.Rhs[i]) {
+							localMaps[id.Name] = true
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if t.Tok == token.VAR {
+					for _, spec := range t.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil && isMapType(vs.Type) {
+							for _, name := range vs.Names {
+								localMaps[name.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if rangesOverMap(t.X, decls, localMaps) {
+					add(t.For, CheckMapRange,
+						"range over map %s iterates in randomized order; simulation state fed from it diverges run to run (sort the keys, add a deterministic tie-break, or suppress with %q)",
+						exprString(t.X), strings.TrimSpace(allowDirective)+" map-range -- <why it is order-insensitive>")
+				}
+			case *ast.SelectorExpr:
+				if id, ok := t.X.(*ast.Ident); ok && id.Obj == nil {
+					if timeNames[id.Name] && (t.Sel.Name == "Now" || t.Sel.Name == "Since" || t.Sel.Name == "Until") {
+						add(t.Pos(), CheckWallClock,
+							"%s.%s reads the wall clock; simulation code must be a pure function of its inputs",
+							id.Name, t.Sel.Name)
+					}
+					if randNames[id.Name] && globalRandFuncs[t.Sel.Name] {
+						add(t.Pos(), CheckGlobalRand,
+							"%s.%s uses the process-global RNG; use a seeded generator (internal/rng) instead",
+							id.Name, t.Sel.Name)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineWrites(lit, add)
+				}
+				return false // checked; don't re-trigger on nested nodes
+			}
+			return true
+		})
+	}
+	walk(f, make(map[string]bool))
+	return fs
+}
+
+// globalRandFuncs is the package-level API of math/rand (and v2) that
+// draws from the shared, process-seeded source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// importNames returns the identifiers the file binds to any of the
+// given import paths (honoring renames; "_" and "." are skipped).
+func importNames(f *ast.File, paths ...string) map[string]bool {
+	want := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		want[p] = true
+	}
+	names := make(map[string]bool)
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !want[p] {
+			continue
+		}
+		name := path.Base(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "_" && name != "." {
+			names[name] = true
+		}
+	}
+	return names
+}
+
+// exprMakesMap reports whether an expression evidently produces a map:
+// make(map[...]...), a map composite literal, or a conversion to one.
+func exprMakesMap(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := t.Fun.(*ast.Ident); ok && id.Name == "make" && len(t.Args) > 0 {
+			return isMapType(t.Args[0])
+		}
+	case *ast.CompositeLit:
+		return t.Type != nil && isMapType(t.Type)
+	}
+	return false
+}
+
+// exprString renders the small expression forms the lint reports on
+// (identifiers and selector chains) for diagnostics.
+func exprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return exprString(t.X) + "." + t.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(t.X) + ")"
+	}
+	return "<expr>"
+}
+
+// rangesOverMap reports whether the ranged expression is evidently a
+// map, from local declarations, package-level vars, or struct fields
+// declared with map types anywhere in the package.
+func rangesOverMap(x ast.Expr, decls *mapDecls, localMaps map[string]bool) bool {
+	switch t := x.(type) {
+	case *ast.Ident:
+		return localMaps[t.Name] || decls.vars[t.Name]
+	case *ast.SelectorExpr:
+		return decls.fields[t.Sel.Name]
+	case *ast.ParenExpr:
+		return rangesOverMap(t.X, decls, localMaps)
+	}
+	return false
+}
+
+// checkGoroutineWrites flags plain assignments to identifiers the
+// goroutine body captured from the enclosing scope. Writes through an
+// index expression (results[i] = ...) are allowed — the worker-per-
+// element idiom is disjoint by construction; a captured scalar write is
+// a race.
+func checkGoroutineWrites(lit *ast.FuncLit, add func(token.Pos, SrcCheck, string, ...any)) {
+	local := make(map[string]bool)
+	if lit.Type.Params != nil {
+		for _, p := range lit.Type.Params.List {
+			for _, name := range p.Names {
+				local[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if t.Tok == token.DEFINE {
+				for _, lhs := range t.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						local[id.Name] = true
+					}
+				}
+				return true
+			}
+			for _, lhs := range t.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || local[id.Name] {
+					continue
+				}
+				add(id.Pos(), CheckGoCapturedWrite,
+					"goroutine assigns to captured variable %q; unsynchronized shared writes race (pass it as a parameter, write a disjoint element, or guard with sync)",
+					id.Name)
+			}
+		case *ast.RangeStmt:
+			if t.Tok == token.DEFINE {
+				if id, ok := t.Key.(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+				if id, ok := t.Value.(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+			}
+		case *ast.GenDecl:
+			if t.Tok == token.VAR {
+				for _, spec := range t.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							local[name.Name] = true
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Nested literals get their own pass only via go statements;
+			// treat their params as local to avoid false positives.
+			if t.Type.Params != nil {
+				for _, p := range t.Type.Params.List {
+					for _, name := range p.Names {
+						local[name.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectAllows maps line -> suppressed checks from //drslint:allow
+// comments.
+func collectAllows(f *ast.File, fset *token.FileSet) map[int]map[SrcCheck]bool {
+	allows := make(map[int]map[SrcCheck]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, allowDirective)
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			if allows[line] == nil {
+				allows[line] = make(map[SrcCheck]bool)
+			}
+			for _, name := range strings.Fields(rest) {
+				allows[line][SrcCheck(name)] = true
+			}
+		}
+	}
+	return allows
+}

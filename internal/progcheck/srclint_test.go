@@ -1,0 +1,192 @@
+package progcheck
+
+import "testing"
+
+func findCheck(fs []SrcFinding, c SrcCheck) *SrcFinding {
+	for i := range fs {
+		if fs[i].Check == c {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func lint(t *testing.T, src string) []SrcFinding {
+	t.Helper()
+	fs, err := LintSource("fixture.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestLintMapRangeLocalMake(t *testing.T) {
+	fs := lint(t, `package p
+func f() int {
+	m := make(map[int]int)
+	best := 0
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+`)
+	if findCheck(fs, CheckMapRange) == nil {
+		t.Fatalf("map range over local make(map) not flagged: %v", fs)
+	}
+}
+
+func TestLintMapRangeStructField(t *testing.T) {
+	fs := lint(t, `package p
+type sched struct {
+	queues map[int][]int
+}
+func (s *sched) pick() int {
+	for t := range s.queues {
+		return t
+	}
+	return -1
+}
+`)
+	if findCheck(fs, CheckMapRange) == nil {
+		t.Fatalf("map range over struct field not flagged: %v", fs)
+	}
+}
+
+func TestLintMapRangeAllowed(t *testing.T) {
+	fs := lint(t, `package p
+func f() int {
+	m := make(map[int]int)
+	n := 0
+	//drslint:allow map-range -- pure count, order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+`)
+	if f := findCheck(fs, CheckMapRange); f != nil {
+		t.Fatalf("allowed map range still flagged: %v", f)
+	}
+}
+
+func TestLintSliceRangeNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+func f(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("slice range flagged: %v", fs)
+	}
+}
+
+func TestLintWallClock(t *testing.T) {
+	fs := lint(t, `package p
+import "time"
+func f() int64 {
+	return time.Now().UnixNano()
+}
+`)
+	if findCheck(fs, CheckWallClock) == nil {
+		t.Fatalf("time.Now not flagged: %v", fs)
+	}
+}
+
+func TestLintGlobalRand(t *testing.T) {
+	fs := lint(t, `package p
+import "math/rand"
+func f() int {
+	return rand.Intn(10)
+}
+`)
+	if findCheck(fs, CheckGlobalRand) == nil {
+		t.Fatalf("global rand.Intn not flagged: %v", fs)
+	}
+}
+
+func TestLintSeededRandNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+import "math/rand"
+func f() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+`)
+	if f := findCheck(fs, CheckGlobalRand); f != nil {
+		t.Fatalf("seeded rand constructor flagged: %v", f)
+	}
+}
+
+func TestLintGoroutineCapturedWrite(t *testing.T) {
+	fs := lint(t, `package p
+func f() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total = 42
+		close(done)
+	}()
+	<-done
+	return total
+}
+`)
+	if findCheck(fs, CheckGoCapturedWrite) == nil {
+		t.Fatalf("goroutine captured write not flagged: %v", fs)
+	}
+}
+
+func TestLintGoroutineIndexWriteNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+import "sync"
+func f(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+`)
+	if f := findCheck(fs, CheckGoCapturedWrite); f != nil {
+		t.Fatalf("disjoint index write flagged: %v", f)
+	}
+}
+
+func TestLintGoroutineLocalWriteNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+func f() {
+	go func() {
+		n := 0
+		n++
+		_ = n
+	}()
+}
+`)
+	if f := findCheck(fs, CheckGoCapturedWrite); f != nil {
+		t.Fatalf("goroutine-local write flagged: %v", f)
+	}
+}
+
+// TestLintRepoClean locks satellite (a): the shipped simulator sources
+// carry no unsuppressed determinism findings.
+func TestLintRepoClean(t *testing.T) {
+	fs, err := LintDirs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("internal/... has determinism findings:\n%v", fs)
+	}
+}

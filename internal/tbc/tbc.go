@@ -173,6 +173,7 @@ func (w *Wrapper) compact(s *simt.SMX, tb *tblock) {
 	}
 	// Deterministic warp pool, ordered by id.
 	ids := make([]int, 0, len(tb.parked))
+	//drslint:allow map-range -- collected ids are sorted before use
 	for wid := range tb.parked {
 		ids = append(ids, wid)
 	}
@@ -184,6 +185,7 @@ func (w *Wrapper) compact(s *simt.SMX, tb *tblock) {
 		n      int
 	}
 	var order []tcount
+	//drslint:allow map-range -- counts are order-independent and the result is sorted
 	for t, perLane := range tb.pending {
 		n := 0
 		for _, col := range perLane {
@@ -267,7 +269,12 @@ func (w *Wrapper) compact(s *simt.SMX, tb *tblock) {
 	// Nothing was formed and nothing runs: the block is out of work;
 	// retire the remaining parked warps.
 	if len(tb.pending) == 0 {
-		for wid := range tb.parked {
+		// Iterate the pre-sorted id snapshot, not the map: warps consumed
+		// by the formation phase above are gone from parked already.
+		for _, wid := range ids {
+			if _, still := tb.parked[wid]; !still {
+				continue
+			}
 			empty := make([]int32, w.warpSize)
 			for i := range empty {
 				empty[i] = -1
