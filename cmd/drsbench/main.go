@@ -4,9 +4,16 @@
 //
 // Scale flags trade fidelity for runtime: the defaults finish in
 // minutes; -paper approaches the paper's 2M-ray workloads.
+//
+// The device engine is the deterministic epoch-barrier engine by
+// default, so every run of the same configuration produces identical
+// cycle counts; -repeat N re-runs the selected experiments and exits
+// nonzero if any cell diverges, and -engine free selects the legacy
+// free-running engine (whose timing jitters across runs).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/scene"
+	"repro/internal/simt"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 		scen   = flag.String("scene", "", "restrict to one scene (conference|fairy|sponza|plants)")
 		paper  = flag.Bool("paper", false, "use paper-scale parameters (slow)")
 		asJSON = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
+		engine = flag.String("engine", "epoch", "execution engine: epoch (deterministic barrier) or free (legacy free-running)")
+		repeat = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
 	)
 	flag.Parse()
 
@@ -49,6 +59,15 @@ func main() {
 	if *smx > 0 {
 		p.Options.Simt.NumSMX = *smx
 	}
+	switch *engine {
+	case "epoch":
+		p.Options.Simt.Engine = simt.EngineEpoch
+	case "free":
+		p.Options.Simt.Engine = simt.EngineFree
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q; valid: epoch free\n", *engine)
+		os.Exit(2)
+	}
 	var scenes []scene.Benchmark
 	if *scen != "" {
 		for _, b := range scene.Benchmarks {
@@ -61,71 +80,135 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *repeat < 1 {
+		fmt.Fprintf(os.Stderr, "-repeat must be >= 1\n")
+		os.Exit(2)
+	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
+	sel := selection{exp: *exp, sweepB: *sweepB, cmpB: *cmpB, scenes: scenes}
 	//drslint:allow wallclock -- wall time reports real CLI runtime, not simulated state
 	start := time.Now()
 
-	if want("table1") {
-		fmt.Println(experiments.Table1(p))
-		ran = true
-	}
-	if want("overhead") {
-		fmt.Println(experiments.Overhead(core.DefaultConfig()))
-		ran = true
-	}
-	emit := func(name string, cells any, text func() string) {
-		if *asJSON {
-			out, err := json.MarshalIndent(map[string]any{"experiment": name, "cells": cells}, "", "  ")
-			exitOn(err)
-			fmt.Println(string(out))
-			return
-		}
-		fmt.Println(text())
-	}
-	if want("fig2") {
-		rows, err := experiments.Figure2(p)
-		exitOn(err)
-		emit("fig2", rows, func() string { return experiments.RenderFigure2(rows) })
-		ran = true
-	}
-	if want("fig8") || want("fig9") {
-		cells, err := experiments.Figure8(p, *sweepB, scenes)
-		exitOn(err)
-		if want("fig8") {
-			emit("fig8", cells, func() string { return experiments.RenderFigure8(cells, *sweepB) })
-		}
-		if want("fig9") {
-			emit("fig9", cells, func() string { return experiments.RenderFigure9(cells, *sweepB) })
-		}
-		ran = true
-	}
-	if want("table2") {
-		cells, err := experiments.Table2(p, *sweepB, scenes)
-		exitOn(err)
-		emit("table2", cells, func() string { return experiments.RenderTable2(cells, *sweepB) })
-		ran = true
-	}
-	if want("fig10") || want("fig11") {
-		cells, err := experiments.Figure10(p, *cmpB, scenes)
-		exitOn(err)
-		if want("fig10") {
-			emit("fig10", cells, func() string { return experiments.RenderFigure10(cells, *cmpB) })
-		}
-		if want("fig11") {
-			emit("fig11", cells, func() string { return experiments.RenderFigure11(cells, *cmpB) })
-		}
-		ran = true
-	}
-	if !ran {
+	results, err := sel.run(p)
+	exitOn(err)
+	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead all\n", *exp)
 		os.Exit(2)
 	}
+	for _, r := range results {
+		if *asJSON && r.cells != nil {
+			out, err := json.MarshalIndent(map[string]any{"experiment": r.name, "cells": r.cells}, "", "  ")
+			exitOn(err)
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Println(r.text)
+	}
+
+	// Determinism check: every repeat must reproduce the first run's
+	// cells and rendered tables byte for byte.
+	if *repeat > 1 {
+		ref := make(map[string][]byte, len(results))
+		for _, r := range results {
+			fp, err := r.fingerprint()
+			exitOn(err)
+			ref[r.name] = fp
+		}
+		for i := 2; i <= *repeat; i++ {
+			again, err := sel.run(p)
+			exitOn(err)
+			for _, r := range again {
+				fp, err := r.fingerprint()
+				exitOn(err)
+				if !bytes.Equal(fp, ref[r.name]) {
+					fmt.Fprintf(os.Stderr,
+						"drsbench: determinism violation: run %d of %s diverged from run 1 on the %s engine\n",
+						i, r.name, *engine)
+					os.Exit(1)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "repeat %d/%d: identical\n", i, *repeat)
+		}
+		fmt.Fprintf(os.Stderr, "determinism check passed: %d runs bit-identical (%s engine)\n", *repeat, *engine)
+	}
+
 	if *exp == "all" {
 		//drslint:allow wallclock -- wall time reports real CLI runtime, not simulated state
 		fmt.Printf("completed in %s\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// expResult is one experiment's output for one run: the raw cells (nil
+// for text-only experiments) and the rendered table.
+type expResult struct {
+	name  string
+	cells any
+	text  string
+}
+
+// fingerprint serializes everything the determinism check compares.
+func (r expResult) fingerprint() ([]byte, error) {
+	return json.Marshal(map[string]any{"cells": r.cells, "text": r.text})
+}
+
+// selection is the set of experiments chosen on the command line.
+type selection struct {
+	exp    string
+	sweepB int
+	cmpB   int
+	scenes []scene.Benchmark
+}
+
+func (s selection) want(name string) bool { return s.exp == "all" || s.exp == name }
+
+// run executes every selected experiment once, in a fixed order.
+func (s selection) run(p experiments.Params) ([]expResult, error) {
+	var out []expResult
+	if s.want("table1") {
+		out = append(out, expResult{name: "table1", text: experiments.Table1(p)})
+	}
+	if s.want("overhead") {
+		out = append(out, expResult{name: "overhead", text: experiments.Overhead(core.DefaultConfig())})
+	}
+	if s.want("fig2") {
+		rows, err := experiments.Figure2(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expResult{"fig2", rows, experiments.RenderFigure2(rows)})
+	}
+	if s.want("fig8") || s.want("fig9") {
+		cells, err := experiments.Figure8(p, s.sweepB, s.scenes)
+		if err != nil {
+			return nil, err
+		}
+		if s.want("fig8") {
+			out = append(out, expResult{"fig8", cells, experiments.RenderFigure8(cells, s.sweepB)})
+		}
+		if s.want("fig9") {
+			out = append(out, expResult{"fig9", cells, experiments.RenderFigure9(cells, s.sweepB)})
+		}
+	}
+	if s.want("table2") {
+		cells, err := experiments.Table2(p, s.sweepB, s.scenes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expResult{"table2", cells, experiments.RenderTable2(cells, s.sweepB)})
+	}
+	if s.want("fig10") || s.want("fig11") {
+		cells, err := experiments.Figure10(p, s.cmpB, s.scenes)
+		if err != nil {
+			return nil, err
+		}
+		if s.want("fig10") {
+			out = append(out, expResult{"fig10", cells, experiments.RenderFigure10(cells, s.cmpB)})
+		}
+		if s.want("fig11") {
+			out = append(out, expResult{"fig11", cells, experiments.RenderFigure11(cells, s.cmpB)})
+		}
+	}
+	return out, nil
 }
 
 func exitOn(err error) {

@@ -86,6 +86,14 @@ type Options struct {
 	// harness's architecture-capability check). Only for tests that run
 	// deliberately malformed programs; real runs must verify.
 	SkipProgCheck bool
+	// CheckDeterminism is the harness's determinism assertion mode: the
+	// whole simulation runs twice and Run fails if the two runs' device
+	// stats (cycles, instruction counts, cache and register-file
+	// counters) differ in any way. It doubles the runtime; use it when
+	// validating engine changes. The epoch-barrier engine (the default
+	// simt.EngineEpoch) must always pass; the legacy simt.EngineFree
+	// engine is expected to fail it on multi-SMX configurations.
+	CheckDeterminism bool
 }
 
 // DefaultOptions returns the paper's configuration: Table 1 GPU,
@@ -123,6 +131,48 @@ type Result struct {
 
 // Run simulates tracing the given rays on the chosen architecture.
 func Run(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
+	res, err := runOnce(arch, rays, data, opt)
+	if err != nil || !opt.CheckDeterminism {
+		return res, err
+	}
+	again, err := runOnce(arch, rays, data, opt)
+	if err != nil {
+		return nil, fmt.Errorf("harness: determinism check re-run: %w", err)
+	}
+	if err := compareRuns(res, again); err != nil {
+		return nil, fmt.Errorf("harness: determinism check failed for %s: %w", arch, err)
+	}
+	return res, nil
+}
+
+// compareRuns reports the first divergence between two runs of the same
+// configuration.
+func compareRuns(a, b *Result) error {
+	switch {
+	case a.GPU.Stats != b.GPU.Stats:
+		return fmt.Errorf("device stats diverged: cycles %d vs %d, instrs %d vs %d",
+			a.GPU.Stats.Cycles, b.GPU.Stats.Cycles, a.GPU.Stats.WarpInstrs, b.GPU.Stats.WarpInstrs)
+	case a.GPU.L1TexMissRate != b.GPU.L1TexMissRate:
+		return fmt.Errorf("L1Tex miss rate diverged: %v vs %v", a.GPU.L1TexMissRate, b.GPU.L1TexMissRate)
+	case a.GPU.RFStats != b.GPU.RFStats:
+		return fmt.Errorf("register file counters diverged: %+v vs %+v", a.GPU.RFStats, b.GPU.RFStats)
+	}
+	for i := range a.GPU.PerSMX {
+		if a.GPU.PerSMX[i] != b.GPU.PerSMX[i] {
+			return fmt.Errorf("SMX %d stats diverged: cycles %d vs %d",
+				i, a.GPU.PerSMX[i].Cycles, b.GPU.PerSMX[i].Cycles)
+		}
+	}
+	for i := range a.Hits {
+		if a.Hits[i].TriIndex != b.Hits[i].TriIndex {
+			return fmt.Errorf("hit %d diverged: tri %d vs %d", i, a.Hits[i].TriIndex, b.Hits[i].TriIndex)
+		}
+	}
+	return nil
+}
+
+// runOnce performs one complete simulation.
+func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
 	if len(rays) == 0 {
 		return nil, fmt.Errorf("harness: empty ray stream")
 	}

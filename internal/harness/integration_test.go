@@ -45,10 +45,7 @@ func TestTraceFileRoundTripSimulatesIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One SMX: multi-SMX runs share the L2 concurrently and are only
-	// deterministic up to timing noise.
 	opt := smallOptions()
-	opt.Simt.NumSMX = 1
 	direct, err := Run(ArchAila, stream.Rays, data, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -68,10 +65,10 @@ func TestTraceFileRoundTripSimulatesIdentically(t *testing.T) {
 	}
 }
 
-// A single-SMX simulation must be exactly deterministic; multi-SMX
-// runs share the L2 concurrently, so their LRU state (and thus timing)
-// varies slightly run-to-run, but hits must stay identical and cycles
-// within a small tolerance.
+// Simulations must be exactly deterministic at any SMX count: the
+// epoch-barrier engine drains L2 requests in fixed (smxID, issue-order)
+// order at each epoch boundary, so cache state — and therefore cycle
+// counts — no longer depends on goroutine scheduling.
 func TestSimulationDeterministic(t *testing.T) {
 	data, traces, _ := testWorkload(t, scene.CrytekSponza, 1500)
 	rays := traces.Bounce(2).Rays
@@ -114,11 +111,10 @@ func TestSimulationDeterministic(t *testing.T) {
 				t.Fatalf("multi-SMX run %d: hit %d differs", i, j)
 			}
 		}
-		// Short runs on tiny machines amplify the L2-interleaving
-		// variance; at experiment scale it is well under a percent.
-		dc := float64(res.GPU.Stats.Cycles-ref.GPU.Stats.Cycles) / float64(ref.GPU.Stats.Cycles)
-		if dc < -0.15 || dc > 0.15 {
-			t.Errorf("multi-SMX cycle variation %.1f%% exceeds 15%%", dc*100)
+		if res.GPU.Stats != ref.GPU.Stats {
+			t.Errorf("multi-SMX run %d not bit-identical: cycles %d vs %d, instrs %d vs %d",
+				i, res.GPU.Stats.Cycles, ref.GPU.Stats.Cycles,
+				res.GPU.Stats.WarpInstrs, ref.GPU.Stats.WarpInstrs)
 		}
 	}
 }

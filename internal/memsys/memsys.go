@@ -136,8 +136,12 @@ func (c *cache) access(addr uint64) bool {
 	return false
 }
 
-// L2 is the device-level cache shared by all SMXs. It is safe for
-// concurrent use by the per-SMX goroutines.
+// L2 is the free-running device-level cache shared by all SMXs. It is
+// safe for concurrent use by the per-SMX goroutines, but its LRU and
+// eviction state mutates in whatever order the goroutine scheduler
+// interleaves the accesses, so multi-SMX cycle counts vary run to run.
+// The deterministic engine uses OrderedL2 instead; this remains for the
+// single-SMX examples and the legacy free-running engine.
 type L2 struct {
 	mu sync.Mutex
 	c  *cache
@@ -162,13 +166,144 @@ func (l *L2) Stats() CacheStats {
 	return l.c.stats
 }
 
+// ReqID identifies one request within an L2Port's current epoch queue.
+type ReqID int32
+
+// l2Req is one queued (and, after a drain, resolved) L2 line request —
+// the replayable record the ordered drain consumes.
+type l2Req struct {
+	addr uint64
+	miss bool
+}
+
+// L2Port is one SMX's private, ordered access point to the shared L2.
+// During an epoch the owning SMX (single goroutine) appends its
+// L2-bound line requests; at the epoch barrier OrderedL2.Drain applies
+// every port's queue to the cache in fixed (smxID, issue-order) order
+// and records each request's hit/miss outcome, which the SMX then reads
+// back via AnyMissed. No locking anywhere: the port is written by one
+// goroutine during the epoch and read/drained only at the barrier.
+type L2Port struct {
+	smxID int
+	reqs  []l2Req
+}
+
+// enqueue records one L2-bound line request and returns its id within
+// the current epoch.
+func (p *L2Port) enqueue(addr uint64) ReqID {
+	p.reqs = append(p.reqs, l2Req{addr: addr})
+	return ReqID(len(p.reqs) - 1)
+}
+
+// AnyMissed reports whether any of the count requests starting at first
+// missed the L2 at the last drain.
+func (p *L2Port) AnyMissed(first ReqID, count int) bool {
+	for i := first; i < first+ReqID(count); i++ {
+		if p.reqs[i].miss {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending returns the number of requests queued this epoch.
+func (p *L2Port) Pending() int { return len(p.reqs) }
+
+// Reset clears the epoch queue (after the owner has consumed the
+// resolutions), retaining capacity.
+func (p *L2Port) Reset() { p.reqs = p.reqs[:0] }
+
+// OrderedL2 is the deterministic shared L2 of the epoch-barrier engine.
+// SMXs never touch the cache directly: they enqueue line requests on
+// their private L2Port during an epoch, and the engine calls Drain at
+// the barrier, which applies all queues in fixed (smxID, issue-order)
+// round-robin so hits, misses and evictions are identical on every run
+// regardless of goroutine scheduling.
+type OrderedL2 struct {
+	c      *cache
+	ports  []*L2Port
+	drains int64
+}
+
+// NewOrderedL2 builds the ordered L2 with one port per SMX. numSMX is
+// the device's SMX count (which may differ from cfg.NumSMX in scaled-
+// down runs).
+func NewOrderedL2(cfg Config, numSMX int) *OrderedL2 {
+	if numSMX <= 0 {
+		numSMX = 1
+	}
+	o := &OrderedL2{
+		c:     newCache(cfg.L2KB, cfg.L2Assoc, cfg.LineBytes),
+		ports: make([]*L2Port, numSMX),
+	}
+	for i := range o.ports {
+		o.ports[i] = &L2Port{smxID: i}
+	}
+	return o
+}
+
+// Port returns SMX smxID's request port.
+func (o *OrderedL2) Port(smxID int) *L2Port { return o.ports[smxID] }
+
+// NumPorts returns the number of per-SMX ports.
+func (o *OrderedL2) NumPorts() int { return len(o.ports) }
+
+// Drain resolves every queued request against the cache in (smxID,
+// issue-order) order. The engine calls it at the epoch barrier, with no
+// SMX goroutine running; it must not race with enqueues.
+func (o *OrderedL2) Drain() {
+	for _, p := range o.ports {
+		for i := range p.reqs {
+			p.reqs[i].miss = !o.c.access(p.reqs[i].addr)
+		}
+	}
+	o.drains++
+}
+
+// Drains returns how many epoch drains have run.
+func (o *OrderedL2) Drains() int64 { return o.drains }
+
+// Stats returns a snapshot of the L2 counters.
+func (o *OrderedL2) Stats() CacheStats { return o.c.stats }
+
+// SharedL2 is a device-level L2 that per-SMX memories attach to: either
+// the free-running locked L2 or the epoch-drained OrderedL2. The
+// attach method is unexported so the two implementations stay in this
+// package; construct per-SMX views with NewSMXMemShared.
+type SharedL2 interface {
+	attach(cfg Config, smxID int) *SMXMem
+}
+
+func (l *L2) attach(cfg Config, smxID int) *SMXMem { return NewSMXMem(cfg, l) }
+
+func (o *OrderedL2) attach(cfg Config, smxID int) *SMXMem {
+	return &SMXMem{
+		cfg:  cfg,
+		l1d:  newCache(cfg.L1DataKB, cfg.L1Assoc, cfg.LineBytes),
+		l1t:  newCache(cfg.L1TexKB, cfg.L1Assoc, cfg.LineBytes),
+		port: o.Port(smxID),
+	}
+}
+
+// NewSMXMemShared creates SMX smxID's private caches attached to the
+// given shared L2 (locked or ordered).
+func NewSMXMemShared(cfg Config, smxID int, shared SharedL2) *SMXMem {
+	if shared == nil {
+		panic("memsys: nil shared L2")
+	}
+	return shared.attach(cfg, smxID)
+}
+
 // SMXMem is the per-SMX view of the hierarchy: private L1s over the
-// shared L2.
+// shared L2. Exactly one of l2 (immediate mode: lookups answered
+// inline through the locked L2) or port (ordered mode: L2-bound
+// requests queue for the epoch drain) is non-nil.
 type SMXMem struct {
 	cfg  Config
 	l1d  *cache
 	l1t  *cache
 	l2   *L2
+	port *L2Port
 	txns int64
 }
 
@@ -186,30 +321,73 @@ func NewSMXMem(cfg Config, l2 *L2) *SMXMem {
 }
 
 // AccessLine performs one transaction for the line containing addr in
-// the given space and returns its latency in cycles.
+// the given space and returns its latency in cycles. In ordered mode an
+// L1 miss queues the line on the SMX's L2 port and the returned latency
+// is provisional (it assumes an L2 hit); callers that need the resolved
+// outcome use WarpAccessEx and the epoch drain.
 func (m *SMXMem) AccessLine(space Space, addr uint64) int {
+	lat, _ := m.accessLine(space, addr)
+	return lat
+}
+
+// accessLine is AccessLine plus a flag reporting whether the access was
+// queued on the L2 port (ordered mode, L1 miss) rather than resolved.
+func (m *SMXMem) accessLine(space Space, addr uint64) (lat int, queued bool) {
 	m.txns++
 	l1 := m.l1d
 	if space == Tex {
 		l1 = m.l1t
 	}
 	if l1.access(addr) {
-		return m.cfg.L1HitLat
+		return m.cfg.L1HitLat, false
+	}
+	if m.port != nil {
+		m.port.enqueue(addr)
+		return m.cfg.L1HitLat + m.cfg.L2HitLat, true
 	}
 	if m.l2.Access(addr) {
-		return m.cfg.L1HitLat + m.cfg.L2HitLat
+		return m.cfg.L1HitLat + m.cfg.L2HitLat, false
 	}
-	return m.cfg.L1HitLat + m.cfg.L2HitLat + m.cfg.DRAMLat
+	return m.cfg.L1HitLat + m.cfg.L2HitLat + m.cfg.DRAMLat, false
+}
+
+// AccessResult describes one coalesced warp memory access.
+type AccessResult struct {
+	// Latency is the warp's stall in cycles. If PendingCount > 0 it is
+	// provisional: it assumes every queued L2 request hits, and the
+	// engine must raise the warp's ready cycle to issue+MissLatency at
+	// the epoch barrier if any of them missed.
+	Latency int
+	// MissLatency is the warp latency if at least one pending request
+	// misses the L2 (the DRAM round trip dominates every resolved line).
+	MissLatency int
+	// Transactions is the number of coalesced line transactions.
+	Transactions int
+	// PendingFirst and PendingCount identify the contiguous run of
+	// requests this access queued on the SMX's L2 port; PendingCount is
+	// 0 when the access resolved entirely in the private tier (or the
+	// memory is in immediate mode).
+	PendingFirst ReqID
+	PendingCount int
 }
 
 // WarpAccess coalesces the addresses of one warp memory instruction
 // into line transactions and returns the total warp latency plus the
 // number of transactions. Latency is the max single-transaction latency
 // plus a serialization cost per extra transaction, matching the
-// stall-until-complete model the engine uses.
+// stall-until-complete model the engine uses. In ordered mode the
+// latency is provisional (see AccessResult); the engine uses
+// WarpAccessEx instead.
 func (m *SMXMem) WarpAccess(space Space, addrs []uint64, bytes uint32) (latency, transactions int) {
+	r := m.WarpAccessEx(space, addrs, bytes)
+	return r.Latency, r.Transactions
+}
+
+// WarpAccessEx is WarpAccess with the pending-request bookkeeping the
+// epoch-barrier engine needs.
+func (m *SMXMem) WarpAccessEx(space Space, addrs []uint64, bytes uint32) AccessResult {
 	if len(addrs) == 0 {
-		return 0, 0
+		return AccessResult{}
 	}
 	lineBytes := uint64(m.cfg.LineBytes)
 	// Collect unique lines. Warp size is small, a slice scan is fast.
@@ -232,15 +410,28 @@ func (m *SMXMem) WarpAccess(space Space, addrs []uint64, bytes uint32) (latency,
 			}
 		}
 	}
+	res := AccessResult{Transactions: n}
+	if m.port != nil {
+		res.PendingFirst = ReqID(m.port.Pending())
+	}
 	maxLat := 0
 	for i := 0; i < n; i++ {
-		lat := m.AccessLine(space, lines[i]*lineBytes)
+		lat, queued := m.accessLine(space, lines[i]*lineBytes)
 		if lat > maxLat {
 			maxLat = lat
 		}
+		if queued {
+			res.PendingCount++
+		}
 	}
-	return maxLat + (n-1)*m.cfg.TxCycles, n
+	serial := (n - 1) * m.cfg.TxCycles
+	res.Latency = maxLat + serial
+	res.MissLatency = m.cfg.L1HitLat + m.cfg.L2HitLat + m.cfg.DRAMLat + serial
+	return res
 }
+
+// Port returns the SMX's ordered L2 port, or nil in immediate mode.
+func (m *SMXMem) Port() *L2Port { return m.port }
 
 // L1DataStats returns a snapshot of the L1 data cache counters.
 func (m *SMXMem) L1DataStats() CacheStats { return m.l1d.stats }

@@ -16,7 +16,7 @@ import (
 // The simulator must be bit-reproducible: the same scene and seed must
 // produce the same cycle counts on every run, or the paper's figures
 // cannot be regenerated and regressions cannot be diffed. The source
-// lint flags the three Go constructs that most commonly break that:
+// lint flags the Go constructs that most commonly break that:
 //
 //   - map-range: ranging over a map touches elements in randomized
 //     order; if the loop body feeds simulation state (picks a winner,
@@ -27,6 +27,13 @@ import (
 //   - goroutine-captured-write: a `go func(){...}` that assigns to a
 //     variable captured from the enclosing scope is a data race unless
 //     externally synchronized; races are nondeterminism at best.
+//   - shared-l2: constructing (memsys.NewL2) or directly accessing the
+//     free-running mutex-serialized L2 in a file that spawns goroutines.
+//     The mutex makes it race-free but serves requests in goroutine
+//     scheduling order, so cache state — and every downstream cycle
+//     count — varies run to run: the race-to-the-lock pattern the
+//     epoch-barrier engine exists to eliminate. Concurrent code must
+//     route L2 traffic through memsys.OrderedL2's per-SMX ports.
 //
 // The analysis is deliberately syntactic (go/ast + go/parser, no type
 // checker): map types are inferred from declarations visible in the
@@ -55,7 +62,14 @@ const (
 	// CheckGoCapturedWrite: goroutine body assigns to a captured
 	// variable.
 	CheckGoCapturedWrite SrcCheck = "goroutine-captured-write"
+	// CheckSharedL2: free-running memsys.L2 constructed or accessed in
+	// a file that spawns goroutines.
+	CheckSharedL2 SrcCheck = "shared-l2"
 )
+
+// memsysImport is the import path of the memory-system package whose
+// free-running L2 the shared-l2 check guards.
+const memsysImport = "repro/internal/memsys"
 
 // SrcFinding is one source-lint diagnostic.
 type SrcFinding struct {
@@ -144,7 +158,7 @@ func LintSource(filename, src string) ([]SrcFinding, error) {
 	if err != nil {
 		return nil, err
 	}
-	decls := collectMapDecls([]*ast.File{f})
+	decls := collectDecls([]*ast.File{f})
 	return lintFile(fset, filename, f, decls), nil
 }
 
@@ -160,7 +174,7 @@ func lintPackageFiles(paths []string) ([]SrcFinding, error) {
 		parsed = append(parsed, f)
 		names = append(names, p)
 	}
-	decls := collectMapDecls(parsed)
+	decls := collectDecls(parsed)
 	var all []SrcFinding
 	for i, f := range parsed {
 		all = append(all, lintFile(fset, names[i], f, decls)...)
@@ -168,11 +182,14 @@ func lintPackageFiles(paths []string) ([]SrcFinding, error) {
 	return all, nil
 }
 
-// mapDecls records which names the package declares with map types:
-// struct fields ("Type.field" and bare "field") and package-level vars.
-type mapDecls struct {
-	fields map[string]bool // field names of map type anywhere in the package
-	vars   map[string]bool // package-level var names of map type
+// pkgDecls records which names the package declares with types the
+// lint cares about: map-typed struct fields ("field") and package-level
+// vars, and the same for the free-running *memsys.L2.
+type pkgDecls struct {
+	fields   map[string]bool // field names of map type anywhere in the package
+	vars     map[string]bool // package-level var names of map type
+	l2Fields map[string]bool // field names of (*)memsys.L2 type
+	l2Vars   map[string]bool // package-level var names of (*)memsys.L2 type
 }
 
 func isMapType(e ast.Expr) bool {
@@ -185,9 +202,32 @@ func isMapType(e ast.Expr) bool {
 	return false
 }
 
-func collectMapDecls(files []*ast.File) *mapDecls {
-	d := &mapDecls{fields: make(map[string]bool), vars: make(map[string]bool)}
+// isL2Type reports whether a type expression evidently names the
+// free-running L2: (*)memsys.L2 through the file's import binding, or
+// bare (*)L2 inside package memsys itself.
+func isL2Type(e ast.Expr, memsysNames map[string]bool, samePkg bool) bool {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return isL2Type(t.X, memsysNames, samePkg)
+	case *ast.ParenExpr:
+		return isL2Type(t.X, memsysNames, samePkg)
+	case *ast.SelectorExpr:
+		id, ok := t.X.(*ast.Ident)
+		return ok && memsysNames[id.Name] && t.Sel.Name == "L2"
+	case *ast.Ident:
+		return samePkg && t.Name == "L2"
+	}
+	return false
+}
+
+func collectDecls(files []*ast.File) *pkgDecls {
+	d := &pkgDecls{
+		fields: make(map[string]bool), vars: make(map[string]bool),
+		l2Fields: make(map[string]bool), l2Vars: make(map[string]bool),
+	}
 	for _, f := range files {
+		memsysNames := importNames(f, memsysImport)
+		samePkg := f.Name.Name == "memsys"
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch t := n.(type) {
 			case *ast.StructType:
@@ -195,6 +235,11 @@ func collectMapDecls(files []*ast.File) *mapDecls {
 					if isMapType(fl.Type) {
 						for _, name := range fl.Names {
 							d.fields[name.Name] = true
+						}
+					}
+					if isL2Type(fl.Type, memsysNames, samePkg) {
+						for _, name := range fl.Names {
+							d.l2Fields[name.Name] = true
 						}
 					}
 				}
@@ -210,6 +255,11 @@ func collectMapDecls(files []*ast.File) *mapDecls {
 								d.vars[name.Name] = true
 							}
 						}
+						if vs.Type != nil && isL2Type(vs.Type, memsysNames, samePkg) {
+							for _, name := range vs.Names {
+								d.l2Vars[name.Name] = true
+							}
+						}
 					}
 				}
 			}
@@ -220,7 +270,7 @@ func collectMapDecls(files []*ast.File) *mapDecls {
 }
 
 // lintFile runs all checks over one file.
-func lintFile(fset *token.FileSet, path string, f *ast.File, decls *mapDecls) []SrcFinding {
+func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []SrcFinding {
 	allowed := collectAllows(f, fset)
 	var fs []SrcFinding
 	add := func(pos token.Pos, check SrcCheck, format string, args ...any) {
@@ -231,23 +281,33 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *mapDecls) []
 		fs = append(fs, SrcFinding{File: path, Line: line, Check: check, Msg: fmt.Sprintf(format, args...)})
 	}
 
-	// Names bound to the math/rand and time imports in this file.
+	// Names bound to the math/rand, time, and memsys imports in this file.
 	randNames := importNames(f, "math/rand", "math/rand/v2")
 	timeNames := importNames(f, "time")
+	memsysNames := importNames(f, memsysImport)
+	// The shared-l2 check applies at file granularity: any file that
+	// spawns a goroutine is a concurrent code path, and the free-running
+	// L2 must not appear anywhere in it (even outside the go statement —
+	// the handle inevitably flows into the workers). Package memsys
+	// itself defines the type and is exempt by construction: it spawns
+	// no goroutines.
+	concurrent := fileSpawnsGoroutines(f)
+	sharedL2Suppress := strings.TrimSpace(allowDirective) + " shared-l2 -- <why the scheduler cannot reorder its accesses>"
 
-	var walk func(n ast.Node, localMaps map[string]bool)
-	walk = func(n ast.Node, localMaps map[string]bool) {
+	var walk func(n ast.Node, localMaps, localL2 map[string]bool)
+	walk = func(n ast.Node, localMaps, localL2 map[string]bool) {
 		ast.Inspect(n, func(n ast.Node) bool {
 			switch t := n.(type) {
 			case *ast.FuncDecl:
 				if t.Body != nil {
-					// Fresh local-map scope per function.
-					walk(t.Body, make(map[string]bool))
+					// Fresh local scopes per function.
+					walk(t.Body, make(map[string]bool), make(map[string]bool))
 					return false
 				}
 			case *ast.AssignStmt:
 				// Track locals declared as maps: x := make(map[...]...),
-				// x := map[...]...{}.
+				// x := map[...]...{} — and locals bound to the free-running
+				// L2: x := memsys.NewL2(...).
 				if t.Tok == token.DEFINE {
 					for i, lhs := range t.Lhs {
 						id, ok := lhs.(*ast.Ident)
@@ -257,14 +317,24 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *mapDecls) []
 						if exprMakesMap(t.Rhs[i]) {
 							localMaps[id.Name] = true
 						}
+						if isNewL2Call(t.Rhs[i], memsysNames) {
+							localL2[id.Name] = true
+						}
 					}
 				}
 			case *ast.GenDecl:
 				if t.Tok == token.VAR {
 					for _, spec := range t.Specs {
-						if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil && isMapType(vs.Type) {
-							for _, name := range vs.Names {
-								localMaps[name.Name] = true
+						if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil {
+							if isMapType(vs.Type) {
+								for _, name := range vs.Names {
+									localMaps[name.Name] = true
+								}
+							}
+							if isL2Type(vs.Type, memsysNames, false) {
+								for _, name := range vs.Names {
+									localL2[name.Name] = true
+								}
 							}
 						}
 					}
@@ -274,6 +344,20 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *mapDecls) []
 					add(t.For, CheckMapRange,
 						"range over map %s iterates in randomized order; simulation state fed from it diverges run to run (sort the keys, add a deterministic tie-break, or suppress with %q)",
 						exprString(t.X), strings.TrimSpace(allowDirective)+" map-range -- <why it is order-insensitive>")
+				}
+			case *ast.CallExpr:
+				if !concurrent {
+					break
+				}
+				if isNewL2Call(t, memsysNames) {
+					add(t.Pos(), CheckSharedL2,
+						"memsys.NewL2 builds the free-running L2, whose mutex serves requests in goroutine scheduling order; concurrent code must route L2 traffic through memsys.NewOrderedL2's per-SMX ports so cache state is schedule-independent (or suppress with %q)",
+						sharedL2Suppress)
+				} else if sel, ok := t.Fun.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Access" && receiverIsL2(sel.X, decls, localL2) {
+					add(t.Pos(), CheckSharedL2,
+						"%s.Access hits the free-running L2 from a file that spawns goroutines; hit/miss state then depends on scheduler interleaving — use the ordered epoch port instead (or suppress with %q)",
+						exprString(sel.X), sharedL2Suppress)
 				}
 			case *ast.SelectorExpr:
 				if id, ok := t.X.(*ast.Ident); ok && id.Obj == nil {
@@ -291,14 +375,60 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *mapDecls) []
 			case *ast.GoStmt:
 				if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
 					checkGoroutineWrites(lit, add)
+					// Still lint the body for L2 uses and the other checks;
+					// checkGoroutineWrites only covers captured assignments.
+					walk(lit.Body, localMaps, localL2)
 				}
 				return false // checked; don't re-trigger on nested nodes
 			}
 			return true
 		})
 	}
-	walk(f, make(map[string]bool))
+	walk(f, make(map[string]bool), make(map[string]bool))
 	return fs
+}
+
+// fileSpawnsGoroutines reports whether the file contains any go
+// statement.
+func fileSpawnsGoroutines(f *ast.File) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNewL2Call reports whether the expression is a call to memsys.NewL2
+// through this file's import binding.
+func isNewL2Call(e ast.Expr, memsysNames map[string]bool) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewL2" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Obj == nil && memsysNames[id.Name]
+}
+
+// receiverIsL2 reports whether a method-call receiver is evidently the
+// free-running L2, from local bindings, package vars, or struct fields
+// declared with (*)memsys.L2 type.
+func receiverIsL2(x ast.Expr, decls *pkgDecls, localL2 map[string]bool) bool {
+	switch t := x.(type) {
+	case *ast.Ident:
+		return localL2[t.Name] || decls.l2Vars[t.Name]
+	case *ast.SelectorExpr:
+		return decls.l2Fields[t.Sel.Name]
+	case *ast.ParenExpr:
+		return receiverIsL2(t.X, decls, localL2)
+	}
+	return false
 }
 
 // globalRandFuncs is the package-level API of math/rand (and v2) that
@@ -368,7 +498,7 @@ func exprString(e ast.Expr) string {
 // rangesOverMap reports whether the ranged expression is evidently a
 // map, from local declarations, package-level vars, or struct fields
 // declared with map types anywhere in the package.
-func rangesOverMap(x ast.Expr, decls *mapDecls, localMaps map[string]bool) bool {
+func rangesOverMap(x ast.Expr, decls *pkgDecls, localMaps map[string]bool) bool {
 	switch t := x.(type) {
 	case *ast.Ident:
 		return localMaps[t.Name] || decls.vars[t.Name]

@@ -98,26 +98,29 @@ func Render(s *scene.Scene, bv *bvh.BVH, cam *camera.Pinhole, cfg Config) (*Resu
 		}
 	}
 
-	var mu sync.Mutex
+	// Captured rays are buffered per image row and assembled in row
+	// order after the workers finish: the stream the simulator consumes
+	// must not depend on which worker rendered which rows (worker count
+	// follows GOMAXPROCS, and row assignment is scheduling order).
+	var rowRays [][trace.MaxBounces][]geom.Ray
+	if cfg.CaptureTraces {
+		rowRays = make([][trace.MaxBounces][]geom.Ray, cfg.Height)
+	}
 	var wg sync.WaitGroup
 	rows := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var local [trace.MaxBounces][]geom.Ray
 			for py := range rows {
+				var local *[trace.MaxBounces][]geom.Ray
+				if cfg.CaptureTraces {
+					local = &rowRays[py]
+				}
 				for px := 0; px < cfg.Width; px++ {
-					pixel := renderPixel(s, bv, cam, cfg, px, py, &local)
+					pixel := renderPixel(s, bv, cam, cfg, px, py, local)
 					res.Film[py*cfg.Width+px] = pixel
 				}
-			}
-			if cfg.CaptureTraces {
-				mu.Lock()
-				for b := 0; b < trace.MaxBounces; b++ {
-					res.Traces.Streams[b].Rays = append(res.Traces.Streams[b].Rays, local[b]...)
-				}
-				mu.Unlock()
 			}
 		}()
 	}
@@ -126,6 +129,13 @@ func Render(s *scene.Scene, bv *bvh.BVH, cam *camera.Pinhole, cfg Config) (*Resu
 	}
 	close(rows)
 	wg.Wait()
+	if cfg.CaptureTraces {
+		for py := range rowRays {
+			for b := 0; b < trace.MaxBounces; b++ {
+				res.Traces.Streams[b].Rays = append(res.Traces.Streams[b].Rays, rowRays[py][b]...)
+			}
+		}
+	}
 
 	// Tone map to the output image.
 	inv := 1 / float32(cfg.SamplesPerPixel)

@@ -32,6 +32,44 @@ func (p SchedPolicy) String() string {
 	}
 }
 
+// Engine selects the multi-SMX execution engine.
+type Engine uint8
+
+// Multi-SMX execution engines.
+const (
+	// EngineEpoch is the deterministic epoch-barrier engine (the
+	// default): SMXs execute concurrently in bounded cycle windows
+	// (epochs); L2-bound requests queue on per-SMX ports and drain into
+	// the shared L2 in fixed (smxID, issue-order) round-robin at each
+	// barrier, so cache state transitions — and therefore device cycle
+	// counts — are independent of goroutine scheduling.
+	EngineEpoch Engine = iota
+	// EngineFree is the legacy free-running engine: one unsynchronized
+	// goroutine per SMX over a mutex-locked L2. Slightly less barrier
+	// overhead, but L2 LRU/eviction state mutates in goroutine-
+	// scheduling order and cycle counts jitter ~2% run to run. Kept for
+	// A/B performance comparison.
+	EngineFree
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineEpoch:
+		return "epoch"
+	case EngineFree:
+		return "free"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultEpochCycles is the default epoch length of the epoch-barrier
+// engine. Shorter epochs mean more barriers (slower); the epoch length
+// bounds how far one SMX's view of the L2 can lag the canonical drain
+// order, and it is clamped so no queued request could ever have
+// completed before the barrier that resolves it (see Config.EpochLen).
+const DefaultEpochCycles = 64
+
 // Config holds the GPU microarchitectural parameters (Table 1 of the
 // paper: a GeForce GTX780, Kepler architecture).
 type Config struct {
@@ -45,6 +83,15 @@ type Config struct {
 
 	Mem memsys.Config
 	RF  regfile.Config
+
+	// Engine selects the multi-SMX execution engine. The zero value is
+	// EngineEpoch, the deterministic one.
+	Engine Engine
+	// EpochCycles is the epoch length (in device cycles) of the
+	// epoch-barrier engine; zero means DefaultEpochCycles. The
+	// effective length is clamped to the minimum L2-bound latency (see
+	// EpochLen), which keeps the deferred hit/miss resolution exact.
+	EpochCycles int
 
 	// MaxCycles aborts a run that fails to terminate (engine bug
 	// guard). Zero means the default of 2^40.
@@ -82,6 +129,31 @@ func (c Config) Validate() error {
 		return fmt.Errorf("simt: need at least one resident warp")
 	case c.ClockMHz <= 0:
 		return fmt.Errorf("simt: clock must be positive")
+	case c.EpochCycles < 0:
+		return fmt.Errorf("simt: epoch length %d must not be negative", c.EpochCycles)
+	case c.Engine > EngineFree:
+		return fmt.Errorf("simt: unknown engine %d", c.Engine)
 	}
 	return nil
+}
+
+// EpochLen returns the effective epoch length of the epoch-barrier
+// engine: EpochCycles (default DefaultEpochCycles) clamped to the
+// minimum latency of an L2-bound access (L1HitLat + L2HitLat). The
+// clamp is what makes deferred resolution exact: a request issued in an
+// epoch cannot complete before that epoch's barrier, so resolving its
+// hit/miss at the barrier never changes what a warp could have issued
+// inside the epoch.
+func (c Config) EpochLen() int64 {
+	e := c.EpochCycles
+	if e <= 0 {
+		e = DefaultEpochCycles
+	}
+	if lim := c.Mem.L1HitLat + c.Mem.L2HitLat; lim > 0 && e > lim {
+		e = lim
+	}
+	if e < 1 {
+		e = 1
+	}
+	return int64(e)
 }

@@ -1,0 +1,163 @@
+package simt
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+// memHeavyFactory builds a looping kernel whose slots sweep a footprint
+// much larger than the L2, so every SMX streams misses and evictions
+// through the shared cache — the access pattern that exposed the
+// free-running engine's cross-SMX nondeterminism.
+func memHeavyFactory(iters int) Factory {
+	return func(id int) (SMXProgram, error) {
+		k := &testKernel{
+			blocks: []BlockInfo{
+				{Name: "loop", Insts: 2, MemInsts: 1, Reconv: 1},
+				{Name: "exit", Insts: 1},
+			},
+			step: func(slot int32, block int, res *StepResult) {
+				if block != 0 {
+					res.Next = BlockExit
+					return
+				}
+				// Distinct per-slot stride so warps diverge in time, with a
+				// footprint of iters*1MB per SMX (L2 is 1.5MB total).
+				res.NMem = 1
+				res.Mem[0] = MemAccess{
+					Addr:  uint64(id)<<30 | uint64(slot)*4096,
+					Bytes: 4,
+					Space: memsys.Tex,
+				}
+				res.Next = 0
+			},
+		}
+		// Count loop trips per slot via a side table owned by the kernel.
+		trips := make(map[int32]int)
+		inner := k.step
+		k.step = func(slot int32, block int, res *StepResult) {
+			inner(slot, block, res)
+			if block == 0 {
+				trips[slot]++
+				res.Mem[0].Addr += uint64(trips[slot]) * 128 * 17
+				if trips[slot] >= iters {
+					res.Next = 1
+				}
+			}
+		}
+		return SMXProgram{Kernel: k}, nil
+	}
+}
+
+// The epoch-barrier engine must produce bit-identical device results on
+// every run, with many SMXs hammering the shared L2.
+func TestEpochEngineDeterministic(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.NumSMX = 6
+	cfg.Engine = EngineEpoch
+	var ref *GPUResult
+	for i := 0; i < 4; i++ {
+		res, err := RunGPU(cfg, memHeavyFactory(40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Stats != ref.Stats {
+			t.Fatalf("run %d device stats diverged: cycles %d vs %d, txns %d vs %d",
+				i, res.Stats.Cycles, ref.Stats.Cycles,
+				res.Stats.MemTransactions, ref.Stats.MemTransactions)
+		}
+		for s := range res.PerSMX {
+			if res.PerSMX[s] != ref.PerSMX[s] {
+				t.Fatalf("run %d SMX %d stats diverged: cycles %d vs %d",
+					i, s, res.PerSMX[s].Cycles, ref.PerSMX[s].Cycles)
+			}
+		}
+		if res.L1TexMissRate != ref.L1TexMissRate {
+			t.Fatalf("run %d L1Tex miss rate diverged: %v vs %v", i, res.L1TexMissRate, ref.L1TexMissRate)
+		}
+	}
+	if ref.Stats.MemTransactions == 0 {
+		t.Fatal("workload performed no memory transactions; the test is vacuous")
+	}
+}
+
+// With a single SMX the ordered drain replays requests in exactly the
+// order the immediate locked L2 would have served them, and the
+// deferred latency formula matches the immediate one — so the two
+// engines must agree bit for bit.
+func TestEpochEngineMatchesFreeOnSingleSMX(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.NumSMX = 1
+
+	cfg.Engine = EngineEpoch
+	epoch, err := RunGPU(cfg, memHeavyFactory(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = EngineFree
+	free, err := RunGPU(cfg, memHeavyFactory(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch.Stats != free.Stats {
+		t.Fatalf("single-SMX engines disagree: epoch cycles %d, free cycles %d (instrs %d vs %d)",
+			epoch.Stats.Cycles, free.Stats.Cycles, epoch.Stats.WarpInstrs, free.Stats.WarpInstrs)
+	}
+}
+
+// The free engine still runs multi-SMX workloads to completion.
+func TestFreeEngineStillRuns(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.NumSMX = 3
+	cfg.Engine = EngineFree
+	res, err := RunGPU(cfg, memHeavyFactory(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retired == 0 {
+		t.Error("no threads retired")
+	}
+}
+
+// EpochLen clamps to the minimum L2-bound latency so deferred
+// resolution can never be late, and respects explicit settings below
+// the clamp.
+func TestEpochLenClamp(t *testing.T) {
+	cfg := DefaultConfig()
+	if got, want := cfg.EpochLen(), int64(DefaultEpochCycles); got != want {
+		t.Errorf("default EpochLen = %d, want %d", got, want)
+	}
+	cfg.EpochCycles = 16
+	if got := cfg.EpochLen(); got != 16 {
+		t.Errorf("explicit EpochLen = %d, want 16", got)
+	}
+	cfg.Mem.L1HitLat, cfg.Mem.L2HitLat = 3, 4
+	cfg.EpochCycles = 100
+	if got := cfg.EpochLen(); got != 7 {
+		t.Errorf("clamped EpochLen = %d, want 7 (L1HitLat+L2HitLat)", got)
+	}
+}
+
+// The engine must be insensitive to the epoch length for hit-only
+// workloads (no shared-state interaction), and must error on invalid
+// engine/epoch configuration.
+func TestEngineConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpochCycles = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative EpochCycles validated")
+	}
+	cfg = DefaultConfig()
+	cfg.Engine = Engine(9)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown engine validated")
+	}
+	if EngineEpoch.String() != "epoch" || EngineFree.String() != "free" || Engine(9).String() != "unknown" {
+		t.Error("engine String() names wrong")
+	}
+}

@@ -40,20 +40,30 @@ type GPUResult struct {
 }
 
 // RunGPU simulates the whole device: one goroutine per SMX over a
-// shared L2. Device cycles are the max over SMXs (they interact only
-// through the L2 in these workloads).
+// shared L2, under the engine selected by cfg.Engine. Device cycles are
+// the max over SMXs (they interact only through the L2 in these
+// workloads). The default EngineEpoch makes the run bit-reproducible;
+// see the Engine constants.
 func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l2 := memsys.NewL2(cfg.Mem)
+	var shared memsys.SharedL2
+	var ordered *memsys.OrderedL2
+	if cfg.Engine == EngineFree {
+		//drslint:allow shared-l2 -- the legacy free-running engine is the documented exception; every other goroutine-spawning path must use the ordered port
+		shared = memsys.NewL2(cfg.Mem)
+	} else {
+		ordered = memsys.NewOrderedL2(cfg.Mem, cfg.NumSMX)
+		shared = ordered
+	}
 	smxs := make([]*SMX, cfg.NumSMX)
 	for i := range smxs {
 		prog, err := factory(i)
 		if err != nil {
 			return nil, fmt.Errorf("simt: factory for SMX %d: %w", i, err)
 		}
-		s, err := NewSMX(i, cfg, prog.Kernel, prog.Hooks, l2)
+		s, err := NewSMX(i, cfg, prog.Kernel, prog.Hooks, shared)
 		if err != nil {
 			return nil, err
 		}
@@ -64,20 +74,12 @@ func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 		}
 		smxs[i] = s
 	}
-	errs := make([]error, len(smxs))
-	var wg sync.WaitGroup
-	for i, s := range smxs {
-		wg.Add(1)
-		go func(i int, s *SMX) {
-			defer wg.Done()
-			_, errs[i] = s.Run()
-		}(i, s)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("simt: SMX %d: %w", i, err)
+	if ordered != nil {
+		if err := runEpochs(cfg, smxs, ordered); err != nil {
+			return nil, err
 		}
+	} else if err := runFree(smxs); err != nil {
+		return nil, err
 	}
 	res := &GPUResult{PerSMX: make([]Stats, len(smxs))}
 	var texAcc, texMiss int64
@@ -101,6 +103,85 @@ func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 	}
 	res.RFShuffleShare = res.RFStats.ShuffleShare()
 	return res, nil
+}
+
+// runFree is the legacy free-running engine: every SMX runs to
+// completion on its own goroutine, racing on the locked L2.
+func runFree(smxs []*SMX) error {
+	errs := make([]error, len(smxs))
+	var wg sync.WaitGroup
+	for i, s := range smxs {
+		wg.Add(1)
+		go func(i int, s *SMX) {
+			defer wg.Done()
+			_, errs[i] = s.Run()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("simt: SMX %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runEpochs is the deterministic epoch-barrier engine. Each epoch, all
+// live SMXs advance in parallel to the same device-cycle boundary while
+// their L2-bound requests queue on private ports; at the barrier the
+// shared L2 drains every queue in fixed (smxID, issue-order) order and
+// each SMX applies the resolved hits/misses to its in-flight warps.
+// One persistent worker goroutine per SMX avoids a spawn per epoch.
+func runEpochs(cfg Config, smxs []*SMX, l2 *memsys.OrderedL2) error {
+	epoch := cfg.EpochLen()
+	n := len(smxs)
+	errs := make([]error, n)
+	starts := make([]chan int64, n)
+	var done sync.WaitGroup
+	for i := range smxs {
+		starts[i] = make(chan int64, 1)
+		go func(i int, s *SMX, start <-chan int64) {
+			for end := range start {
+				errs[i] = s.RunEpoch(end)
+				done.Done()
+			}
+		}(i, smxs[i], starts[i])
+	}
+	defer func() {
+		for _, ch := range starts {
+			close(ch)
+		}
+	}()
+	var end int64
+	for {
+		live := false
+		for _, s := range smxs {
+			if s.LiveWarps() > 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return nil
+		}
+		end += epoch
+		done.Add(n)
+		for _, ch := range starts {
+			ch <- end
+		}
+		done.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("simt: SMX %d: %w", i, err)
+			}
+		}
+		// Barrier: canonical drain, then per-SMX resolution (disjoint
+		// state, cheap — done inline on the engine goroutine).
+		l2.Drain()
+		for _, s := range smxs {
+			s.ResolveEpoch()
+		}
+	}
 }
 
 // Partition splits n work items into parts nearly equal slices,

@@ -36,8 +36,9 @@ type SMX struct {
 }
 
 // NewSMX builds one SMX running kernel with the given hooks, attached
-// to the shared L2.
-func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 *memsys.L2) (*SMX, error) {
+// to the shared L2 (the locked free-running memsys.L2 or the ordered
+// memsys.OrderedL2, whose per-SMX port is selected by id).
+func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 memsys.SharedL2) (*SMX, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,7 +60,7 @@ func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 *memsys.L2) (*SMX
 		kernel:        kernel,
 		hooks:         hooks,
 		blocks:        blocks,
-		mem:           memsys.NewSMXMem(cfg.Mem, l2),
+		mem:           memsys.NewSMXMemShared(cfg.Mem, id, l2),
 		rf:            regfile.New(cfg.RF),
 		lastWarp:      make([]int, cfg.SchedulersPerSMX),
 		defaultSrcOps: 2,
@@ -145,6 +146,62 @@ func (s *SMX) Run() (Stats, error) {
 		}
 	}
 	return s.Stats(), nil
+}
+
+// RunEpoch advances the SMX to device cycle `end` (or until all its
+// warps are done), leaving this epoch's L2-bound requests queued on the
+// SMX's port. The epoch-barrier engine calls it from the SMX's worker
+// goroutine, then — after the device-wide ordered drain — ResolveEpoch
+// from the barrier. The engine guarantees end-start never exceeds
+// Config.EpochLen, so no queued request's data could have been needed
+// before the barrier.
+func (s *SMX) RunEpoch(end int64) error {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	for s.liveWarp > 0 && s.cycle < end {
+		s.step()
+		if s.cycle > maxCycles {
+			return fmt.Errorf("simt: SMX %d exceeded %d cycles (%d warps live; deadlock?)",
+				s.ID, maxCycles, s.liveWarp)
+		}
+	}
+	return nil
+}
+
+// ResolveEpoch applies the epoch drain's hit/miss outcomes to warps
+// with in-flight memory and clears the SMX's port queue. The engine
+// calls it at the barrier, never concurrently with RunEpoch. A warp
+// whose access missed the L2 has its ready cycle raised from the
+// provisional (L2-hit) estimate to the full DRAM round trip; the
+// estimate always reaches past the barrier, so the correction is never
+// late.
+func (s *SMX) ResolveEpoch() {
+	port := s.mem.Port()
+	if port == nil || port.Pending() == 0 {
+		return
+	}
+	for _, w := range s.warps {
+		for _, p := range w.pending {
+			if !port.AnyMissed(p.first, p.count) {
+				continue
+			}
+			if w.phase == phaseExec {
+				// Block still executing: the latency is exposed at block
+				// completion via memReady.
+				if p.missReady > w.memReady {
+					w.memReady = p.missReady
+				}
+			} else if p.missReady > w.readyCycle {
+				// Block completed inside the epoch: completion moved the
+				// provisional memReady into readyCycle; raise it there.
+				w.readyCycle = p.missReady
+			}
+		}
+		w.pending = w.pending[:0]
+	}
+	port.Reset()
 }
 
 // RunFor advances the SMX by at most n cycles, stopping early if all
@@ -432,10 +489,17 @@ func (s *SMX) issueMem(w *Warp) {
 	if n == 0 {
 		return
 	}
-	lat, txns := s.mem.WarpAccess(space, addrs[:n], maxBytes)
-	s.stats.MemTransactions += int64(txns)
-	if ready := s.cycle + int64(lat); ready > w.memReady {
+	res := s.mem.WarpAccessEx(space, addrs[:n], maxBytes)
+	s.stats.MemTransactions += int64(res.Transactions)
+	if ready := s.cycle + int64(res.Latency); ready > w.memReady {
 		w.memReady = ready
+	}
+	if res.PendingCount > 0 {
+		w.pending = append(w.pending, memPending{
+			first:     res.PendingFirst,
+			count:     res.PendingCount,
+			missReady: s.cycle + int64(res.MissLatency),
+		})
 	}
 }
 

@@ -1,6 +1,21 @@
 package simt
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/memsys"
+)
+
+// memPending is one warp memory access awaiting the epoch drain's L2
+// hit/miss outcome: requests [first, first+count) on the SMX's L2
+// port, and the ready cycle to impose if any of them missed. Pending
+// records live at most one epoch — the barrier that follows their issue
+// resolves and clears them.
+type memPending struct {
+	first     memsys.ReqID
+	count     int
+	missReady int64
+}
 
 // warpPhase tracks where a warp is in its block execution cycle.
 type warpPhase uint8
@@ -45,6 +60,10 @@ type Warp struct {
 	memReady   int64
 	lastIssued int64
 
+	// pending holds this epoch's L2-bound accesses (epoch-barrier
+	// engine only); ResolveEpoch applies and clears them.
+	pending []memPending
+
 	res []StepResult // per-lane results for the current block
 
 	// scratch reused during resolve
@@ -80,6 +99,10 @@ func (w *Warp) Launch(entry int, slots []int32) {
 	}
 	w.block = entry
 	w.readyCycle = 0
+	// Remaps only happen to warps with no in-flight memory (a warp with
+	// unresolved L2 requests cannot reach a gate or divergence point
+	// before the barrier that resolves them), so this is hygiene.
+	w.pending = w.pending[:0]
 }
 
 // ID returns the warp's index within its SMX.
