@@ -42,6 +42,12 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
 		engine = flag.String("engine", "epoch", "execution engine: epoch (deterministic barrier) or free (legacy free-running)")
 		repeat = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
+
+		statsJSON = flag.String("stats-json", "", "observed-run mode: write the full metrics registry dump (flat JSON) to this file")
+		traceOut  = flag.String("trace", "", "observed-run mode: write a Chrome trace (chrome://tracing / Perfetto) of per-SMX occupancy and stall phases to this file")
+		archFlag  = flag.String("arch", "drs", "architecture for the observed run: aila|drs|dmk|tbc")
+		bounce    = flag.Int("bounce", 2, "trace bounce whose rays the observed run simulates")
+		seriesCap = flag.Int("series-cap", 0, "epoch time-series ring capacity for the observed run (0 = default)")
 	)
 	flag.Parse()
 
@@ -83,6 +89,23 @@ func main() {
 	if *repeat < 1 {
 		fmt.Fprintf(os.Stderr, "-repeat must be >= 1\n")
 		os.Exit(2)
+	}
+
+	// Observed-run mode: -stats-json / -trace run one instrumented
+	// simulation (scene, architecture and bounce selected by flags)
+	// instead of the experiment suite, and write machine-readable
+	// artifacts. -repeat re-runs it and byte-compares the artifacts.
+	if *statsJSON != "" || *traceOut != "" {
+		runObserved(p, observedSpec{
+			scene:     pickScene(scenes),
+			arch:      *archFlag,
+			bounce:    *bounce,
+			seriesCap: *seriesCap,
+			statsJSON: *statsJSON,
+			traceOut:  *traceOut,
+			repeat:    *repeat,
+		})
+		return
 	}
 
 	sel := selection{exp: *exp, sweepB: *sweepB, cmpB: *cmpB, scenes: scenes}

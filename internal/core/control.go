@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/simt"
 )
 
@@ -21,6 +22,18 @@ type Stats struct {
 	RaysMoved int64
 	// IdealShuffles counts instantaneous reorganizations in Ideal mode.
 	IdealShuffles int64
+}
+
+// Add merges o into s. Every numeric field must be merged: the device
+// totals fold the per-SMX control stats with this method
+// (statcheck.AddCovers guards field coverage).
+func (s *Stats) Add(o Stats) {
+	s.Remaps += o.Remaps
+	s.SwapsStarted += o.SwapsStarted
+	s.SwapsCompleted += o.SwapsCompleted
+	s.SwapCycleSum += o.SwapCycleSum
+	s.RaysMoved += o.RaysMoved
+	s.IdealShuffles += o.IdealShuffles
 }
 
 // MeanSwapCycles returns the average duration of a completed ray move.
@@ -182,6 +195,14 @@ func (c *Control) Launch(s *simt.SMX) {
 
 // Stats returns a snapshot of the control's counters.
 func (c *Control) Stats() Stats { return c.stats }
+
+// RegisterMetrics registers the control's counters under prefix
+// ("smx3/drs") in the unified registry, and its swap activity as an
+// epoch time-series column so shuffle traffic is visible per epoch.
+func (c *Control) RegisterMetrics(col *metrics.Collector, prefix string) {
+	col.Registry.RegisterStruct(prefix, &c.stats)
+	col.Series.Column(prefix+"/swaps_started", func() int64 { return c.stats.SwapsStarted })
+}
 
 // Config returns the control's configuration.
 func (c *Control) Config() Config { return c.cfg }

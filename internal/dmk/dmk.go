@@ -12,6 +12,7 @@ package dmk
 
 import (
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/simt"
 )
 
@@ -131,6 +132,14 @@ func (w *Wrapper) Hooks() simt.Hooks {
 
 // Stats returns a snapshot of the wrapper's counters.
 func (w *Wrapper) Stats() Stats { return w.stats }
+
+// RegisterMetrics registers the wrapper's counters under prefix
+// ("smx3/dmk") in the unified registry, plus the live spawn-memory
+// occupancy as a gauge.
+func (w *Wrapper) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterStruct(prefix, &w.stats)
+	reg.Gauge(prefix+"/queued_threads", func() int64 { return int64(w.queued) })
+}
 
 // QueuedThreads returns the current spawn-memory occupancy.
 func (w *Wrapper) QueuedThreads() int { return w.queued }

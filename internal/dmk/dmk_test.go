@@ -10,6 +10,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/scene"
 	"repro/internal/simt"
+	"repro/internal/statcheck"
 	"repro/internal/vec"
 )
 
@@ -147,5 +148,13 @@ func TestStatsAdd(t *testing.T) {
 	a.Add(b)
 	if a.Respawns != 5 || a.ThreadsMoved != 7 || a.QueueHighWater != 9 {
 		t.Errorf("merged = %+v", a)
+	}
+}
+
+// TestStatsAddCoverage pins that dmk.Stats.Add merges every numeric
+// field (QueueHighWater merges as a max and must still be covered).
+func TestStatsAddCoverage(t *testing.T) {
+	if err := statcheck.AddCovers(Stats{}); err != nil {
+		t.Error(err)
 	}
 }

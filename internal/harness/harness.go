@@ -12,6 +12,7 @@ import (
 	"repro/internal/dmk"
 	"repro/internal/geom"
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/progcheck"
 	"repro/internal/simt"
 	"repro/internal/tbc"
@@ -92,8 +93,21 @@ type Options struct {
 	// counters) differ in any way. It doubles the runtime; use it when
 	// validating engine changes. The epoch-barrier engine (the default
 	// simt.EngineEpoch) must always pass; the legacy simt.EngineFree
-	// engine is expected to fail it on multi-SMX configurations.
+	// engine is expected to fail it on multi-SMX configurations. With
+	// Observe set the comparison also covers the full metrics registry,
+	// naming the exact counter that diverged.
 	CheckDeterminism bool
+	// Observe attaches the unified metrics layer to the run: every
+	// component registers its counters in a fresh registry
+	// (Result.Metrics holds the end-of-run snapshot) and the
+	// epoch-barrier engine samples the per-epoch time-series
+	// (Result.Series) at every barrier. Adds no work to the simulated
+	// hot paths; see internal/metrics.
+	Observe bool
+	// SeriesCap overrides the epoch time-series ring capacity
+	// (0 = metrics.DefaultSeriesCap). The ring keeps the newest samples
+	// and counts evictions.
+	SeriesCap int
 }
 
 // DefaultOptions returns the paper's configuration: Table 1 GPU,
@@ -127,6 +141,16 @@ type Result struct {
 	DMKStats dmk.Stats
 	// TBCStats aggregates the per-SMX TBC stats (ArchTBC only).
 	TBCStats tbc.Stats
+	// Config is the effective device configuration the run used (after
+	// per-architecture warp-count adjustments).
+	Config simt.Config
+	// Metrics is the end-of-run snapshot of the unified registry
+	// (Options.Observe only).
+	Metrics *metrics.Snapshot
+	// Series is the per-epoch time-series (Options.Observe on the
+	// epoch-barrier engine; empty on the free engine, which has no
+	// deterministic sampling points).
+	Series *metrics.Series
 }
 
 // Run simulates tracing the given rays on the chosen architecture.
@@ -156,6 +180,11 @@ func compareRuns(a, b *Result) error {
 		return fmt.Errorf("L1Tex miss rate diverged: %v vs %v", a.GPU.L1TexMissRate, b.GPU.L1TexMissRate)
 	case a.GPU.RFStats != b.GPU.RFStats:
 		return fmt.Errorf("register file counters diverged: %+v vs %+v", a.GPU.RFStats, b.GPU.RFStats)
+	}
+	if a.Metrics != nil && b.Metrics != nil {
+		if d := a.Metrics.Diff(b.Metrics); d != "" {
+			return fmt.Errorf("metrics registry diverged: %s", d)
+		}
 	}
 	for i := range a.GPU.PerSMX {
 		if a.GPU.PerSMX[i] != b.GPU.PerSMX[i] {
@@ -187,6 +216,15 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 			return nil, err
 		}
 		cfg.MaxWarpsPerSMX = opt.DRS.Warps()
+	}
+	var col *metrics.Collector
+	if opt.Observe {
+		col = metrics.NewCollector(opt.SeriesCap)
+		col.Registry.Const("run/rays", int64(len(rays)))
+		col.Registry.Const("run/arch", int64(arch))
+		col.Registry.Const("run/num_smx", int64(cfg.NumSMX))
+		col.Registry.Const("run/epoch_cycles", cfg.EpochLen())
+		cfg.Collector = col
 	}
 
 	type smxOut struct {
@@ -231,6 +269,9 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 				return simt.SMXProgram{}, err
 			}
 			out.drs = ctrl
+			if col != nil {
+				ctrl.RegisterMetrics(col, fmt.Sprintf("smx%d/drs", id))
+			}
 			return simt.SMXProgram{
 				Kernel: k,
 				Hooks:  ctrl.Hooks(),
@@ -247,6 +288,9 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 			}
 			w := dmk.New(opt.DMK, k, cfg.MaxWarpsPerSMX, cfg.WarpSize)
 			out.dmk = w
+			if col != nil {
+				w.RegisterMetrics(col.Registry, fmt.Sprintf("smx%d/dmk", id))
+			}
 			return simt.SMXProgram{Kernel: k, Hooks: w.Hooks()}, nil
 		case ArchTBC:
 			acfg := kernels.AilaConfig{SkipVerify: opt.SkipProgCheck}
@@ -259,6 +303,9 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 			}
 			w := tbc.New(opt.TBC, k, cfg.MaxWarpsPerSMX, cfg.WarpSize)
 			out.tbc = w
+			if col != nil {
+				w.RegisterMetrics(col.Registry, fmt.Sprintf("smx%d/tbc", id))
+			}
 			return simt.SMXProgram{Kernel: k, Hooks: w.Hooks()}, nil
 		default:
 			return simt.SMXProgram{}, fmt.Errorf("harness: unknown arch %d", arch)
@@ -270,20 +317,16 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 		return nil, err
 	}
 	res := &Result{
-		Arch: arch,
-		GPU:  gpu,
-		Hits: make([]geom.Hit, len(rays)),
-		Rays: len(rays),
+		Arch:   arch,
+		GPU:    gpu,
+		Hits:   make([]geom.Hit, len(rays)),
+		Rays:   len(rays),
+		Config: cfg,
 	}
 	for _, o := range outs {
 		copy(res.Hits[o.start:], o.hits)
 		if o.drs != nil {
-			s := o.drs.Stats()
-			res.DRS.Remaps += s.Remaps
-			res.DRS.SwapsStarted += s.SwapsStarted
-			res.DRS.SwapsCompleted += s.SwapsCompleted
-			res.DRS.SwapCycleSum += s.SwapCycleSum
-			res.DRS.IdealShuffles += s.IdealShuffles
+			res.DRS.Add(o.drs.Stats())
 		}
 		if o.dmk != nil {
 			res.DMKStats.Add(o.dmk.Stats())
@@ -294,5 +337,9 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 	}
 	res.Mrays = gpu.Stats.MraysPerSec(int64(len(rays)), cfg.ClockMHz)
 	res.SIMDEff = gpu.Stats.SIMDEfficiency(cfg.WarpSize)
+	if col != nil {
+		res.Metrics = col.Registry.Snapshot()
+		res.Series = col.Series
+	}
 	return res, nil
 }

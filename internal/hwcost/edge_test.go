@@ -1,0 +1,86 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDRSZeroAndDegenerateInputs pins the analytic model's behaviour on
+// the boundary configurations: no swap buffers, no rows, and both.
+// The storage terms must go to zero while the constant control state
+// remains, and no derived fraction may go negative or NaN.
+func TestDRSZeroAndDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name          string
+		buffers, rows int
+		wantSwap      int
+		wantState     int
+	}{
+		{name: "zero-everything", buffers: 0, rows: 0, wantSwap: 0, wantState: 0},
+		{name: "zero-buffers", buffers: 0, rows: 61, wantSwap: 0, wantState: 488},
+		{name: "zero-rows", buffers: 6, rows: 0, wantSwap: 744, wantState: 0},
+		{name: "single-row", buffers: 1, rows: 1, wantSwap: 124, wantState: 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := DRS(tc.buffers, tc.rows)
+			if d.SwapBufferBytes != tc.wantSwap {
+				t.Errorf("swap bytes = %d, want %d", d.SwapBufferBytes, tc.wantSwap)
+			}
+			if d.RayStateTableBytes != tc.wantState {
+				t.Errorf("state table bytes = %d, want %d", d.RayStateTableBytes, tc.wantState)
+			}
+			// The fixed control state keeps the total positive even with no
+			// configured storage.
+			if d.TotalPerSMXBytes != tc.wantSwap+tc.wantState+200 {
+				t.Errorf("total = %d, want storage + 200B control", d.TotalPerSMXBytes)
+			}
+			for name, v := range map[string]float64{
+				"RegFileFraction":   d.RegFileFraction,
+				"TotalAreaFraction": d.TotalAreaFraction,
+				"MaxFreqGHz":        d.MaxFreqGHz,
+			} {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite positive", name, v)
+				}
+			}
+		})
+	}
+}
+
+// TestSpawnBytesOverflowAndZero pins DMKSpawnBytes at the boundaries:
+// zero warps or registers store nothing, and device-scale inputs stay
+// far from int overflow (the arithmetic multiplies three operands
+// before dividing, so a naive refactor to 32-bit or a reordering could
+// overflow silently).
+func TestSpawnBytesOverflowAndZero(t *testing.T) {
+	cases := []struct {
+		name        string
+		warps, regs int
+		want        int
+	}{
+		{name: "zero-warps", warps: 0, regs: 17, want: 0},
+		{name: "zero-regs", warps: 54, regs: 0, want: 0},
+		{name: "single-thread-register", warps: 1, regs: 1, want: 128},
+		// 1024 warps x 256 registers: far beyond any real SMX, still exact.
+		{name: "huge-config", warps: 1024, regs: 256, want: 1024 * 32 * 256 * 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DMKSpawnBytes(tc.warps, tc.regs)
+			if got != tc.want {
+				t.Errorf("DMKSpawnBytes(%d, %d) = %d, want %d", tc.warps, tc.regs, got, tc.want)
+			}
+			if got < 0 {
+				t.Errorf("spawn bytes overflowed negative: %d", got)
+			}
+		})
+	}
+	// Monotonicity: more resident state never costs less.
+	if DMKSpawnBytes(55, 17) <= DMKSpawnBytes(54, 17) {
+		t.Error("spawn bytes not monotone in warps")
+	}
+	if DMKSpawnBytes(54, 18) <= DMKSpawnBytes(54, 17) {
+		t.Error("spawn bytes not monotone in registers")
+	}
+}

@@ -1,0 +1,154 @@
+package memsys
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeAccess turns fuzz bytes into one warp memory access: a space,
+// an access size, and up to a warp's worth of lane addresses. The size
+// is bounded so a single access spans at most a few cache lines, as
+// real kernel accesses do; address bits are taken raw to explore the
+// full line/set/tag space.
+func decodeAccess(data []byte) (space Space, addrs []uint64, size uint32) {
+	if len(data) < 3 {
+		return Tex, nil, 0
+	}
+	space = Tex
+	if data[0]&1 == 1 {
+		space = Data
+	}
+	size = uint32(binary.LittleEndian.Uint16(data[1:3])) % 1025 // 0..1024
+	data = data[3:]
+	for len(data) >= 8 && len(addrs) < 32 {
+		addrs = append(addrs, binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	return space, addrs, size
+}
+
+// refLineCount computes the number of distinct lines the access
+// touches, capped at the coalescer's 64-transaction buffer, with a map
+// instead of the coalescer's scan — an independent oracle.
+func refLineCount(addrs []uint64, size uint32, lineBytes int) int {
+	if size == 0 {
+		size = 1
+	}
+	lb := uint64(lineBytes)
+	seen := make(map[uint64]bool)
+	for _, a := range addrs {
+		if len(seen) >= 64 {
+			break
+		}
+		first := a / lb
+		end := a + uint64(size) - 1
+		if end < a {
+			end = ^uint64(0)
+		}
+		last := end / lb
+		for l := first; l <= last && len(seen) < 64; l++ {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}
+
+// FuzzWarpCoalesce drives the per-warp coalescer with arbitrary lane
+// address vectors and access sizes, in both immediate (locked L2) and
+// ordered (epoch port) mode, checking the invariants the engine relies
+// on: transaction counts match an independent line count, latencies are
+// bounded by the declared worst case, pending-request bookkeeping is
+// consistent with the port queue, and the whole computation is
+// deterministic.
+func FuzzWarpCoalesce(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x00, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0x01, 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0}) // zero-size access
+	// A strided warp: 32 lanes, 128B apart (one line each).
+	strided := []byte{0x00, 0x04, 0x00}
+	for i := 0; i < 32; i++ {
+		var a [8]byte
+		binary.LittleEndian.PutUint64(a[:], uint64(i)*128)
+		strided = append(strided, a[:]...)
+	}
+	f.Add(strided)
+	// Lane addresses near the top of the address space (line-span
+	// arithmetic must not wrap).
+	high := []byte{0x01, 0xff, 0xff}
+	for i := 0; i < 4; i++ {
+		var a [8]byte
+		binary.LittleEndian.PutUint64(a[:], ^uint64(0)-uint64(i)*64)
+		high = append(high, a[:]...)
+	}
+	f.Add(high)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		space, addrs, size := decodeAccess(data)
+		cfg := DefaultConfig()
+
+		// Immediate mode (locked L2).
+		m1 := NewSMXMem(cfg, NewL2(cfg))
+		r1 := m1.WarpAccessEx(space, addrs, size)
+		// Ordered mode (epoch port on SMX 0).
+		o := NewOrderedL2(cfg, 1)
+		m2 := NewSMXMemShared(cfg, 0, o)
+		r2 := m2.WarpAccessEx(space, addrs, size)
+
+		if len(addrs) == 0 {
+			if r1 != (AccessResult{}) || r2 != (AccessResult{}) {
+				t.Fatalf("empty warp produced work: %+v / %+v", r1, r2)
+			}
+			return
+		}
+		want := refLineCount(addrs, size, cfg.LineBytes)
+		for name, r := range map[string]AccessResult{"immediate": r1, "ordered": r2} {
+			if r.Transactions != want {
+				t.Fatalf("%s: %d transactions, reference says %d", name, r.Transactions, want)
+			}
+			if r.Latency < cfg.L1HitLat {
+				t.Fatalf("%s: latency %d below L1 hit latency %d", name, r.Latency, cfg.L1HitLat)
+			}
+			if r.Latency > r.MissLatency {
+				t.Fatalf("%s: latency %d exceeds declared worst case %d", name, r.Latency, r.MissLatency)
+			}
+		}
+		// The same lines go through both modes' L1s, so the L1 counters
+		// must agree exactly.
+		if m1.L1DataStats() != m2.L1DataStats() || m1.L1TexStats() != m2.L1TexStats() {
+			t.Fatalf("L1 stats diverged between modes: %+v/%+v vs %+v/%+v",
+				m1.L1DataStats(), m1.L1TexStats(), m2.L1DataStats(), m2.L1TexStats())
+		}
+		// Ordered-mode bookkeeping: the pending run must exactly cover the
+		// port queue, and resolving it must not panic.
+		port := m2.Port()
+		if r2.PendingCount != port.Pending() || r2.PendingFirst != 0 {
+			t.Fatalf("pending run [%d,+%d) inconsistent with port queue of %d",
+				r2.PendingFirst, r2.PendingCount, port.Pending())
+		}
+		if r2.PendingCount > r2.Transactions {
+			t.Fatalf("%d pending requests from %d transactions", r2.PendingCount, r2.Transactions)
+		}
+		o.Drain()
+		missed := port.AnyMissed(r2.PendingFirst, r2.PendingCount)
+		// A fresh L2 cannot hit on a first access: every queued line missed.
+		if r2.PendingCount > 0 && !missed {
+			t.Fatal("cold L2 reported a hit for a first-touch line")
+		}
+		if got := o.Stats().Accesses; got != int64(r2.PendingCount) {
+			t.Fatalf("L2 saw %d accesses, expected the %d queued", got, r2.PendingCount)
+		}
+		port.Reset()
+		if port.Pending() != 0 {
+			t.Fatal("Reset left requests queued")
+		}
+
+		// Determinism: replaying the access on fresh state reproduces the
+		// result and the cache counters bit for bit.
+		m3 := NewSMXMem(cfg, NewL2(cfg))
+		if r3 := m3.WarpAccessEx(space, addrs, size); r3 != r1 {
+			t.Fatalf("replay diverged: %+v vs %+v", r3, r1)
+		}
+		if m3.L1DataStats() != m1.L1DataStats() || m3.Transactions() != m1.Transactions() {
+			t.Fatal("replay cache counters diverged")
+		}
+	})
+}

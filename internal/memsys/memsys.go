@@ -8,6 +8,8 @@ package memsys
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Space identifies which path a memory access takes.
@@ -166,6 +168,15 @@ func (l *L2) Stats() CacheStats {
 	return l.c.stats
 }
 
+// RegisterMetrics registers the L2 counters under prefix ("l2"). The
+// gauges take the lock, so they are safe to sample while SMX goroutines
+// run (the free engine) — though only end-of-run snapshots are
+// meaningful there.
+func (l *L2) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Gauge(prefix+"/accesses", func() int64 { return l.Stats().Accesses })
+	reg.Gauge(prefix+"/misses", func() int64 { return l.Stats().Misses })
+}
+
 // ReqID identifies one request within an L2Port's current epoch queue.
 type ReqID int32
 
@@ -265,6 +276,16 @@ func (o *OrderedL2) Drains() int64 { return o.drains }
 
 // Stats returns a snapshot of the L2 counters.
 func (o *OrderedL2) Stats() CacheStats { return o.c.stats }
+
+// RegisterMetrics registers the ordered L2's counters under prefix
+// ("l2"): the shared cache's accesses and misses plus the epoch drain
+// count. Probes read the live fields; the engine samples them only at
+// barriers, when no SMX goroutine runs.
+func (o *OrderedL2) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Counter(prefix+"/accesses", &o.c.stats.Accesses)
+	reg.Counter(prefix+"/misses", &o.c.stats.Misses)
+	reg.Counter(prefix+"/drains", &o.drains)
+}
 
 // SharedL2 is a device-level L2 that per-SMX memories attach to: either
 // the free-running locked L2 or the epoch-drained OrderedL2. The
@@ -389,14 +410,26 @@ func (m *SMXMem) WarpAccessEx(space Space, addrs []uint64, bytes uint32) AccessR
 	if len(addrs) == 0 {
 		return AccessResult{}
 	}
+	if bytes == 0 {
+		// A zero-size access still touches its line; without this the
+		// last-line computation below underflows at addr 0.
+		bytes = 1
+	}
 	lineBytes := uint64(m.cfg.LineBytes)
 	// Collect unique lines. Warp size is small, a slice scan is fast.
 	var lines [64]uint64
 	n := 0
 	for _, a := range addrs {
+		if n == len(lines) {
+			break // transaction buffer full; further lines coalesce nowhere
+		}
 		first := a / lineBytes
-		last := (a + uint64(bytes) - 1) / lineBytes
-		for l := first; l <= last; l++ {
+		end := a + uint64(bytes) - 1
+		if end < a {
+			end = ^uint64(0) // saturate: the access runs to the top of the address space
+		}
+		last := end / lineBytes
+		for l := first; l <= last && n < len(lines); l++ {
 			dup := false
 			for i := 0; i < n; i++ {
 				if lines[i] == l {
@@ -404,7 +437,7 @@ func (m *SMXMem) WarpAccessEx(space Space, addrs []uint64, bytes uint32) AccessR
 					break
 				}
 			}
-			if !dup && n < len(lines) {
+			if !dup {
 				lines[n] = l
 				n++
 			}
@@ -432,6 +465,17 @@ func (m *SMXMem) WarpAccessEx(space Space, addrs []uint64, bytes uint32) AccessR
 
 // Port returns the SMX's ordered L2 port, or nil in immediate mode.
 func (m *SMXMem) Port() *L2Port { return m.port }
+
+// RegisterMetrics registers the SMX's private cache counters under
+// prefix: prefix/l1d/{accesses,misses}, prefix/l1t/{accesses,misses},
+// and prefix/transactions.
+func (m *SMXMem) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Counter(prefix+"/l1d/accesses", &m.l1d.stats.Accesses)
+	reg.Counter(prefix+"/l1d/misses", &m.l1d.stats.Misses)
+	reg.Counter(prefix+"/l1t/accesses", &m.l1t.stats.Accesses)
+	reg.Counter(prefix+"/l1t/misses", &m.l1t.stats.Misses)
+	reg.Counter(prefix+"/transactions", &m.txns)
+}
 
 // L1DataStats returns a snapshot of the L1 data cache counters.
 func (m *SMXMem) L1DataStats() CacheStats { return m.l1d.stats }

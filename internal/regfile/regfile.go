@@ -12,7 +12,11 @@
 //     (swap time is "affected by the bank conflicts of a register file").
 package regfile
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Config holds register file parameters.
 type Config struct {
@@ -45,6 +49,19 @@ type Stats struct {
 	// ShuffleRetryCycles counts swap-engine transfers deferred because
 	// the target bank was busy with instruction operands.
 	ShuffleRetryCycles int64
+}
+
+// Add merges o into s. Every numeric field must be merged here: the
+// device-level register file counters are produced by folding the
+// per-SMX stats with this method, so a field missed by Add silently
+// vanishes from the reports (statcheck.AddCovers guards against that).
+func (s *Stats) Add(o Stats) {
+	s.OperandReads += o.OperandReads
+	s.OperandWrites += o.OperandWrites
+	s.ShuffleReads += o.ShuffleReads
+	s.ShuffleWrites += o.ShuffleWrites
+	s.BankConflictCycles += o.BankConflictCycles
+	s.ShuffleRetryCycles += o.ShuffleRetryCycles
 }
 
 // TotalAccesses returns all reads and writes.
@@ -91,6 +108,13 @@ func (f *File) Config() Config { return f.cfg }
 
 // Stats returns a snapshot of the counters.
 func (f *File) Stats() Stats { return f.stats }
+
+// RegisterMetrics registers the register file's counters under prefix
+// ("smx3/rf") in the unified registry. The probes read the live fields,
+// so registration costs nothing on the access paths.
+func (f *File) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterStruct(prefix, &f.stats)
+}
 
 // Advance moves the model's notion of "now" to cycle c, releasing
 // reservations of past cycles.

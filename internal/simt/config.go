@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/regfile"
 )
 
@@ -96,6 +97,15 @@ type Config struct {
 	// MaxCycles aborts a run that fails to terminate (engine bug
 	// guard). Zero means the default of 2^40.
 	MaxCycles int64
+
+	// Collector, when non-nil, attaches the unified observability layer
+	// to the run: RunGPU registers every component's counters into
+	// Collector.Registry under hierarchical smx<N>/... paths, and the
+	// epoch-barrier engine samples Collector.Series at every barrier
+	// (active warps, issued instructions, L2 queue depths — see
+	// SMX.RegisterSeries). The free-running engine fills only the
+	// registry; it has no deterministic sampling points for a series.
+	Collector *metrics.Collector
 }
 
 // DefaultConfig returns the paper's Table 1 configuration: 980 MHz,

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/regfile"
 )
 
@@ -57,6 +58,14 @@ func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 		ordered = memsys.NewOrderedL2(cfg.Mem, cfg.NumSMX)
 		shared = ordered
 	}
+	col := cfg.Collector
+	if col != nil {
+		if ordered != nil {
+			ordered.RegisterMetrics(col.Registry, "l2")
+		} else if l2, ok := shared.(*memsys.L2); ok {
+			l2.RegisterMetrics(col.Registry, "l2")
+		}
+	}
 	smxs := make([]*SMX, cfg.NumSMX)
 	for i := range smxs {
 		prog, err := factory(i)
@@ -73,9 +82,13 @@ func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 			s.LaunchAll(0)
 		}
 		smxs[i] = s
+		if col != nil {
+			s.RegisterMetrics(col.Registry)
+			s.RegisterSeries(col.Series)
+		}
 	}
 	if ordered != nil {
-		if err := runEpochs(cfg, smxs, ordered); err != nil {
+		if err := runEpochs(cfg, smxs, ordered, col); err != nil {
 			return nil, err
 		}
 	} else if err := runFree(smxs); err != nil {
@@ -90,13 +103,7 @@ func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 		t := s.Mem().L1TexStats()
 		texAcc += t.Accesses
 		texMiss += t.Misses
-		rf := s.RF().Stats()
-		res.RFStats.OperandReads += rf.OperandReads
-		res.RFStats.OperandWrites += rf.OperandWrites
-		res.RFStats.ShuffleReads += rf.ShuffleReads
-		res.RFStats.ShuffleWrites += rf.ShuffleWrites
-		res.RFStats.BankConflictCycles += rf.BankConflictCycles
-		res.RFStats.ShuffleRetryCycles += rf.ShuffleRetryCycles
+		res.RFStats.Add(s.RF().Stats())
 	}
 	if texAcc > 0 {
 		res.L1TexMissRate = float64(texMiss) / float64(texAcc)
@@ -132,9 +139,27 @@ func runFree(smxs []*SMX) error {
 // shared L2 drains every queue in fixed (smxID, issue-order) order and
 // each SMX applies the resolved hits/misses to its in-flight warps.
 // One persistent worker goroutine per SMX avoids a spawn per epoch.
-func runEpochs(cfg Config, smxs []*SMX, l2 *memsys.OrderedL2) error {
+//
+// When a collector is attached, the barrier is also the sampling point
+// of the epoch time-series: the engine captures each SMX's L2 port
+// queue depth just before the drain consumes it, and samples every
+// registered column after the drain and resolutions, so cumulative
+// columns (instruction counts, cache accesses) are exact through this
+// barrier. The sampling runs on the engine goroutine with every worker
+// parked, so it is single-threaded and bit-deterministic.
+func runEpochs(cfg Config, smxs []*SMX, l2 *memsys.OrderedL2, col *metrics.Collector) error {
 	epoch := cfg.EpochLen()
 	n := len(smxs)
+	var depths []int64
+	if col != nil {
+		depths = make([]int64, n)
+		for i, s := range smxs {
+			i := i
+			col.Series.Column(s.MetricsPrefix()+"/l2_queue", func() int64 { return depths[i] })
+		}
+		col.Series.Column("l2/accesses", func() int64 { return l2.Stats().Accesses })
+		col.Series.Column("l2/misses", func() int64 { return l2.Stats().Misses })
+	}
 	errs := make([]error, n)
 	starts := make([]chan int64, n)
 	var done sync.WaitGroup
@@ -177,9 +202,17 @@ func runEpochs(cfg Config, smxs []*SMX, l2 *memsys.OrderedL2) error {
 		}
 		// Barrier: canonical drain, then per-SMX resolution (disjoint
 		// state, cheap — done inline on the engine goroutine).
+		if col != nil {
+			for i, s := range smxs {
+				depths[i] = int64(s.Mem().Port().Pending())
+			}
+		}
 		l2.Drain()
 		for _, s := range smxs {
 			s.ResolveEpoch()
+		}
+		if col != nil {
+			col.Series.Sample(end)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/regfile"
 )
 
@@ -131,6 +132,41 @@ func (s *SMX) Stats() Stats {
 
 // Config returns the SMX's configuration.
 func (s *SMX) Config() Config { return s.cfg }
+
+// MetricsPrefix returns the SMX's path prefix in the unified registry
+// ("smx3"). Architecture wrappers append their own segment
+// ("smx3/drs").
+func (s *SMX) MetricsPrefix() string { return fmt.Sprintf("smx%d", s.ID) }
+
+// RegisterMetrics registers every counter the SMX owns into the
+// unified registry under smx<N>/...: the engine's issue/divergence
+// counters (smx<N>/warp_instrs, ...), the live cycle and warp gauges,
+// the private caches (smx<N>/l1d/..., smx<N>/l1t/...) and the register
+// file (smx<N>/rf/...). Probes read the live fields; nothing on the
+// per-cycle path changes.
+func (s *SMX) RegisterMetrics(reg *metrics.Registry) {
+	p := s.MetricsPrefix()
+	reg.Counter(p+"/cycles", &s.cycle)
+	reg.Gauge(p+"/live_warps", func() int64 { return int64(s.liveWarp) })
+	reg.RegisterStruct(p, &s.stats)
+	s.mem.RegisterMetrics(reg, p)
+	s.rf.RegisterMetrics(reg, p+"/rf")
+}
+
+// RegisterSeries registers the SMX's per-epoch time-series columns:
+// occupancy (live warps), cumulative issued warp instructions, and the
+// cumulative warp-state census counters the trace exporter turns into
+// exec/mem/gate/parked phase slices. The engine samples the columns at
+// every epoch barrier, when no SMX goroutine is running.
+func (s *SMX) RegisterSeries(se *metrics.Series) {
+	p := s.MetricsPrefix()
+	se.Column(p+"/live_warps", func() int64 { return int64(s.liveWarp) })
+	se.Column(p+"/warp_instrs", func() int64 { return s.stats.WarpInstrs })
+	se.Column(p+"/sampled_exec", func() int64 { return s.stats.SampledExec })
+	se.Column(p+"/sampled_mem", func() int64 { return s.stats.SampledMem })
+	se.Column(p+"/sampled_gate", func() int64 { return s.stats.SampledGate })
+	se.Column(p+"/sampled_parked", func() int64 { return s.stats.SampledParked })
+}
 
 // Run executes until all warps are done, returning the final stats.
 func (s *SMX) Run() (Stats, error) {

@@ -3,7 +3,11 @@ package simt
 // Stats accumulates the counters the experiments report. All counts are
 // per-SMX; GPU-level results merge the per-SMX stats.
 type Stats struct {
-	Cycles int64
+	// Cycles is excluded from struct registration in the metrics
+	// registry: the live SMX keeps its cycle in SMX.cycle and only
+	// copies it here in snapshots, so the registry reads it through a
+	// dedicated gauge instead (see SMX.RegisterMetrics).
+	Cycles int64 `metrics:"-"`
 
 	// WarpInstrs is the total number of warp instructions issued
 	// (all tags).

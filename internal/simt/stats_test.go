@@ -1,0 +1,28 @@
+package simt
+
+import (
+	"testing"
+
+	"repro/internal/statcheck"
+)
+
+// TestStatsAddCoverage pins that Stats.Add merges every numeric field,
+// including the ActiveHist array and the max-merged Cycles. GPU-level
+// results fold per-SMX stats with Add, so an uncovered field silently
+// zeroes a device counter.
+func TestStatsAddCoverage(t *testing.T) {
+	if err := statcheck.AddCovers(Stats{}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsAddCyclesMax pins the one non-additive merge: the device
+// finishes when the slowest SMX finishes.
+func TestStatsAddCyclesMax(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Cycles: 100})
+	s.Add(Stats{Cycles: 40})
+	if s.Cycles != 100 {
+		t.Errorf("Cycles = %d, want max 100", s.Cycles)
+	}
+}

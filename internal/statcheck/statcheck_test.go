@@ -1,0 +1,96 @@
+package statcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+type good struct {
+	A int64
+	B int64
+	// Hist exercises array coverage.
+	Hist [4]int64
+	// Max exercises max-style merges.
+	Max int64
+	// unexported fields are ignored.
+	hidden int64 //nolint:unused
+	// Rate is a non-merged derived field would be a bug — but floats
+	// count as numeric and must be merged too.
+	Rate float64
+}
+
+func (g *good) Add(o good) {
+	g.A += o.A
+	g.B += o.B
+	for i := range g.Hist {
+		g.Hist[i] += o.Hist[i]
+	}
+	if o.Max > g.Max {
+		g.Max = o.Max
+	}
+	g.Rate += o.Rate
+}
+
+type leaky struct {
+	A int64
+	B int64 // not merged by Add
+}
+
+func (l *leaky) Add(o leaky) { l.A += o.A }
+
+type nested struct {
+	Inner good
+	N     int64
+}
+
+func (n *nested) Add(o nested) {
+	n.Inner.Add(o.Inner)
+	n.N += o.N
+}
+
+type nestedLeaky struct {
+	Inner leaky
+	N     int64
+}
+
+func (n *nestedLeaky) Add(o nestedLeaky) {
+	n.Inner.Add(o.Inner)
+	n.N += o.N
+}
+
+type noAdd struct{ A int64 }
+
+type badSig struct{ A int64 }
+
+func (b *badSig) Add(o *badSig) { b.A += o.A }
+
+func TestAddCovers(t *testing.T) {
+	if err := AddCovers(good{}); err != nil {
+		t.Errorf("good: %v", err)
+	}
+	if err := AddCovers(nested{}); err != nil {
+		t.Errorf("nested: %v", err)
+	}
+	if err := AddCovers(leaky{}); err == nil {
+		t.Error("leaky: uncovered field B not detected")
+	} else if !strings.Contains(err.Error(), "B") {
+		t.Errorf("leaky: error does not name field B: %v", err)
+	}
+	if err := AddCovers(nestedLeaky{}); err == nil {
+		t.Error("nestedLeaky: uncovered nested field not detected")
+	} else if !strings.Contains(err.Error(), "Inner.B") {
+		t.Errorf("nestedLeaky: error does not name Inner.B: %v", err)
+	}
+	if err := AddCovers(noAdd{}); err == nil {
+		t.Error("noAdd: missing Add method not detected")
+	}
+	if err := AddCovers(badSig{}); err == nil {
+		t.Error("badSig: wrong Add signature not detected")
+	}
+	if err := AddCovers(42); err == nil {
+		t.Error("non-struct input not rejected")
+	}
+	if err := AddCovers(nil); err == nil {
+		t.Error("nil input not rejected")
+	}
+}

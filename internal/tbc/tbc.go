@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/simt"
 )
 
@@ -108,6 +109,12 @@ func (w *Wrapper) Hooks() simt.Hooks {
 
 // Stats returns a snapshot of the wrapper's counters.
 func (w *Wrapper) Stats() Stats { return w.stats }
+
+// RegisterMetrics registers the wrapper's counters under prefix
+// ("smx3/tbc") in the unified registry.
+func (w *Wrapper) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterStruct(prefix, &w.stats)
+}
 
 // onBlockEnd parks the warp at the block barrier, depositing its
 // threads, and compacts once every running member has arrived. Full

@@ -10,6 +10,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/scene"
 	"repro/internal/simt"
+	"repro/internal/statcheck"
 	"repro/internal/vec"
 )
 
@@ -153,5 +154,13 @@ func TestStatsAdd(t *testing.T) {
 	a.Add(b)
 	if a.Compactions != 3 || a.WarpsFormed != 5 || a.Syncs != 7 {
 		t.Errorf("merged = %+v", a)
+	}
+}
+
+// TestStatsAddCoverage pins that tbc.Stats.Add merges every numeric
+// field; harness.Run folds per-SMX TBC stats with it.
+func TestStatsAddCoverage(t *testing.T) {
+	if err := statcheck.AddCovers(Stats{}); err != nil {
+		t.Error(err)
 	}
 }
