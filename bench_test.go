@@ -180,6 +180,35 @@ func BenchmarkFigure11(b *testing.B) {
 	}
 }
 
+// benchFigure10Par measures the Figure 10 grid at a fixed scheduler
+// worker count: the cellsched wall-clock comparison recorded in
+// BENCH_cellsched.json. The workload is cached once outside the timed
+// loop so the benchmark isolates simulation scheduling, not scene
+// builds.
+func benchFigure10Par(b *testing.B, par int) {
+	p := benchParams()
+	p.Bounces = 2
+	p.Options.Parallelism = par
+	p.Cache = experiments.NewWorkloadCache()
+	if _, err := p.Cache.Get(scene.ConferenceRoom, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure10(p, 2, []scene.Benchmark{scene.ConferenceRoom})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func BenchmarkFigure10Par1(b *testing.B) { benchFigure10Par(b, 1) }
+func BenchmarkFigure10Par2(b *testing.B) { benchFigure10Par(b, 2) }
+func BenchmarkFigure10Par4(b *testing.B) { benchFigure10Par(b, 4) }
+
 // BenchmarkOverheadModel regenerates the §4.5 hardware overhead
 // arithmetic. Reported metric: DRS storage bytes per SMX.
 func BenchmarkOverheadModel(b *testing.B) {

@@ -41,6 +41,7 @@ func main() {
 		paper  = flag.Bool("paper", false, "use paper-scale parameters (slow)")
 		asJSON = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
 		engine = flag.String("engine", "epoch", "execution engine: epoch (deterministic barrier) or free (legacy free-running)")
+		par    = flag.Int("par", 0, "experiment cell scheduler workers (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
 		repeat = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
 
 		statsJSON = flag.String("stats-json", "", "observed-run mode: write the full metrics registry dump (flat JSON) to this file")
@@ -65,6 +66,11 @@ func main() {
 	if *smx > 0 {
 		p.Options.Simt.NumSMX = *smx
 	}
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "-par must be >= 0\n")
+		os.Exit(2)
+	}
+	p.Options.Parallelism = *par
 	switch *engine {
 	case "epoch":
 		p.Options.Simt.Engine = simt.EngineEpoch
@@ -112,7 +118,7 @@ func main() {
 	//drslint:allow wallclock -- wall time reports real CLI runtime, not simulated state
 	start := time.Now()
 
-	results, err := sel.run(p)
+	results, cache, err := sel.run(p)
 	exitOn(err)
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead all\n", *exp)
@@ -138,7 +144,7 @@ func main() {
 			ref[r.name] = fp
 		}
 		for i := 2; i <= *repeat; i++ {
-			again, err := sel.run(p)
+			again, _, err := sel.run(p)
 			exitOn(err)
 			for _, r := range again {
 				fp, err := r.fingerprint()
@@ -156,6 +162,8 @@ func main() {
 	}
 
 	if *exp == "all" {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "workloads: %d built, %d cache hits\n", st.Builds, st.Hits)
 		//drslint:allow wallclock -- wall time reports real CLI runtime, not simulated state
 		fmt.Printf("completed in %s\n", time.Since(start).Round(time.Millisecond))
 	}
@@ -184,8 +192,12 @@ type selection struct {
 
 func (s selection) want(name string) bool { return s.exp == "all" || s.exp == name }
 
-// run executes every selected experiment once, in a fixed order.
-func (s selection) run(p experiments.Params) ([]expResult, error) {
+// run executes every selected experiment once, in a fixed order. One
+// workload cache is shared across the whole selection, so a suite run
+// builds each scene's render+BVH+traces exactly once; each -repeat
+// iteration gets a fresh cache so repeats exercise the full pipeline.
+func (s selection) run(p experiments.Params) ([]expResult, *experiments.WorkloadCache, error) {
+	p.Cache = experiments.NewWorkloadCache()
 	var out []expResult
 	if s.want("table1") {
 		out = append(out, expResult{name: "table1", text: experiments.Table1(p)})
@@ -196,14 +208,14 @@ func (s selection) run(p experiments.Params) ([]expResult, error) {
 	if s.want("fig2") {
 		rows, err := experiments.Figure2(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, expResult{"fig2", rows, experiments.RenderFigure2(rows)})
 	}
 	if s.want("fig8") || s.want("fig9") {
 		cells, err := experiments.Figure8(p, s.sweepB, s.scenes)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if s.want("fig8") {
 			out = append(out, expResult{"fig8", cells, experiments.RenderFigure8(cells, s.sweepB)})
@@ -215,14 +227,14 @@ func (s selection) run(p experiments.Params) ([]expResult, error) {
 	if s.want("table2") {
 		cells, err := experiments.Table2(p, s.sweepB, s.scenes)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, expResult{"table2", cells, experiments.RenderTable2(cells, s.sweepB)})
 	}
 	if s.want("fig10") || s.want("fig11") {
 		cells, err := experiments.Figure10(p, s.cmpB, s.scenes)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if s.want("fig10") {
 			out = append(out, expResult{"fig10", cells, experiments.RenderFigure10(cells, s.cmpB)})
@@ -231,7 +243,7 @@ func (s selection) run(p experiments.Params) ([]expResult, error) {
 			out = append(out, expResult{"fig11", cells, experiments.RenderFigure11(cells, s.cmpB)})
 		}
 	}
-	return out, nil
+	return out, p.Cache, nil
 }
 
 func exitOn(err error) {

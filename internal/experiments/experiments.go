@@ -37,8 +37,14 @@ type Params struct {
 	// Bounces is how many bounces to simulate (per figure this may be
 	// further restricted; the paper renders 8).
 	Bounces int
-	// Options carries the device and architecture configuration.
+	// Options carries the device and architecture configuration,
+	// including Parallelism, the cell scheduler's worker count.
 	Options harness.Options
+	// Cache shares workload builds across runners. nil makes each
+	// runner use a private per-call cache (every scene still built once
+	// per call); the suite driver passes one shared cache so all
+	// figures reuse the same scene builds.
+	Cache *WorkloadCache
 }
 
 // DefaultParams returns a configuration that runs the full suite in

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cellsched"
 	"repro/internal/harness"
 	"repro/internal/scene"
 	"repro/internal/simt"
@@ -33,10 +34,24 @@ var ComparisonArchs = []harness.Arch{
 	harness.ArchAila, harness.ArchDMK, harness.ArchTBC, harness.ArchDRS,
 }
 
+// fig10Result is one (scene, arch, bounce) cell outcome plus the raw
+// stats the overall row aggregates from.
+type fig10Result struct {
+	ok    bool // false: the bounce stream was empty, cell skipped
+	cell  ArchCell
+	stats simt.Stats
+	rays  int
+}
+
 // Figure10 reproduces Figures 10 and 11: SIMD efficiency with
 // utilization breakdown and ray tracing performance for Aila's method,
 // DMK, TBC and the DRS, per bounce plus overall. The paper shows
 // bounces 1-3 and the overall result over all 8 bounces.
+//
+// Every (scene, arch, bounce) simulation is an independent scheduler
+// cell; the grid runs on Options.Parallelism workers and the rows are
+// assembled positionally in the canonical scene/arch/bounce order, so
+// the output is byte-identical at any worker count.
 func Figure10(p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, error) {
 	if perBounce <= 0 {
 		perBounce = 3
@@ -48,41 +63,74 @@ func Figure10(p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, er
 	if bounces <= 0 {
 		bounces = 8
 	}
-	var cells []ArchCell
+	p = p.ensureCache()
+
+	grid := workloadCells[fig10Result](p, scenes)
+	prefetch := len(grid)
 	for _, b := range scenes {
-		w, err := BuildWorkload(b, p)
-		if err != nil {
-			return nil, err
+		for _, arch := range ComparisonArchs {
+			for bounce := 1; bounce <= bounces; bounce++ {
+				grid = append(grid, cellsched.Cell[fig10Result]{
+					Key: fmt.Sprintf("fig10/%s/%s/B%d", b, arch, bounce),
+					Run: func() (fig10Result, error) {
+						w, err := p.workload(b)
+						if err != nil {
+							return fig10Result{}, err
+						}
+						if len(w.BounceRays(bounce, p)) == 0 {
+							return fig10Result{}, nil
+						}
+						res, err := w.simulate(arch, bounce, p)
+						if err != nil {
+							return fig10Result{}, fmt.Errorf("fig10 %s %s B%d: %w", b, arch, bounce, err)
+						}
+						st := res.GPU.Stats
+						return fig10Result{
+							ok:    true,
+							stats: st,
+							rays:  res.Rays,
+							cell: ArchCell{
+								Scene: b, Arch: arch, Bounce: bounce,
+								Rays: res.Rays, Eff: res.SIMDEff,
+								Breakdown:          st.UtilizationBreakdown(p.Options.Simt.WarpSize),
+								Mrays:              res.Mrays,
+								RFShuffleShare:     res.GPU.RFShuffleShare,
+								L1TexMissRate:      res.GPU.L1TexMissRate,
+								SpawnConflictShare: spawnShare(st),
+							},
+						}, nil
+					},
+				})
+			}
 		}
+	}
+	results, err := cellsched.Run(grid, p.par())
+	if err != nil {
+		return nil, err
+	}
+	results = results[prefetch:]
+
+	var cells []ArchCell
+	i := 0
+	for _, b := range scenes {
 		for _, arch := range ComparisonArchs {
 			var overall simt.Stats
 			var cycleSum int64
 			overallRays := 0
 			for bounce := 1; bounce <= bounces; bounce++ {
-				if len(w.BounceRays(bounce, p)) == 0 {
+				r := results[i]
+				i++
+				if !r.ok {
 					continue
 				}
-				res, err := w.simulate(arch, bounce, p)
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %s %s B%d: %w", b, arch, bounce, err)
-				}
-				st := res.GPU.Stats
-				overall.Add(st)
+				overall.Add(r.stats)
 				// The paper's overall performance is total rays over the
 				// total cycles of all 8 bounces (each bounce is a
 				// separate kernel launch).
-				cycleSum += st.Cycles
-				overallRays += res.Rays
+				cycleSum += r.stats.Cycles
+				overallRays += r.rays
 				if bounce <= perBounce {
-					cells = append(cells, ArchCell{
-						Scene: b, Arch: arch, Bounce: bounce,
-						Rays: res.Rays, Eff: res.SIMDEff,
-						Breakdown:          st.UtilizationBreakdown(p.Options.Simt.WarpSize),
-						Mrays:              res.Mrays,
-						RFShuffleShare:     res.GPU.RFShuffleShare,
-						L1TexMissRate:      res.GPU.L1TexMissRate,
-						SpawnConflictShare: spawnShare(st),
-					})
+					cells = append(cells, r.cell)
 				}
 			}
 			overall.Cycles = cycleSum
@@ -106,10 +154,30 @@ func spawnShare(st simt.Stats) float64 {
 	return float64(st.SpawnConflictCycles) / float64(st.Cycles)
 }
 
+// archKey indexes ArchCells for the renderers: one map build per
+// render instead of a linear scan over the cell slice per row.
+type archKey struct {
+	scene  scene.Benchmark
+	arch   harness.Arch
+	bounce int
+}
+
+func indexArchCells(cells []ArchCell) map[archKey]ArchCell {
+	m := make(map[archKey]ArchCell, len(cells))
+	for _, c := range cells {
+		k := archKey{c.Scene, c.Arch, c.Bounce}
+		if _, ok := m[k]; !ok { // first match wins, like the old scans
+			m[k] = c
+		}
+	}
+	return m
+}
+
 // RenderFigure10 prints the SIMD efficiency / breakdown comparison.
 func RenderFigure10(cells []ArchCell, perBounce int) string {
 	out := "Figure 10: SIMD efficiency and utilization breakdown (Aila / DMK / TBC / DRS)\n"
 	header := []string{"scene", "bounce", "arch", "SIMD eff", "W1:8", "W9:16", "W17:24", "W25:32", "SI"}
+	idx := indexArchCells(cells)
 	var rows [][]string
 	for _, b := range scene.Benchmarks {
 		for bounce := 1; bounce <= perBounce+1; bounce++ {
@@ -120,17 +188,17 @@ func RenderFigure10(cells []ArchCell, perBounce int) string {
 				label = "all"
 			}
 			for _, arch := range ComparisonArchs {
-				for _, c := range cells {
-					if c.Scene == b && c.Arch == arch && c.Bounce == bn {
-						rows = append(rows, []string{
-							b.String(), label, arch.String(),
-							pct(c.Eff),
-							pct(c.Breakdown.W1to8), pct(c.Breakdown.W9to16),
-							pct(c.Breakdown.W17to24), pct(c.Breakdown.W25to32),
-							pct(c.Breakdown.SI),
-						})
-					}
+				c, ok := idx[archKey{b, arch, bn}]
+				if !ok {
+					continue
 				}
+				rows = append(rows, []string{
+					b.String(), label, arch.String(),
+					pct(c.Eff),
+					pct(c.Breakdown.W1to8), pct(c.Breakdown.W9to16),
+					pct(c.Breakdown.W17to24), pct(c.Breakdown.W25to32),
+					pct(c.Breakdown.SI),
+				})
 			}
 		}
 	}
@@ -142,15 +210,8 @@ func RenderFigure10(cells []ArchCell, perBounce int) string {
 func RenderFigure11(cells []ArchCell, perBounce int) string {
 	out := "Figure 11: ray tracing performance (Mrays/s) and speedup vs Aila\n"
 	header := []string{"scene", "bounce", "aila", "dmk", "tbc", "drs", "dmk x", "tbc x", "drs x"}
+	idx := indexArchCells(cells)
 	var rows [][]string
-	get := func(b scene.Benchmark, arch harness.Arch, bounce int) (ArchCell, bool) {
-		for _, c := range cells {
-			if c.Scene == b && c.Arch == arch && c.Bounce == bounce {
-				return c, true
-			}
-		}
-		return ArchCell{}, false
-	}
 	for _, b := range scene.Benchmarks {
 		for bounce := 1; bounce <= perBounce+1; bounce++ {
 			bn := bounce
@@ -159,13 +220,13 @@ func RenderFigure11(cells []ArchCell, perBounce int) string {
 				bn = 0
 				label = "all"
 			}
-			aila, ok := get(b, harness.ArchAila, bn)
+			aila, ok := idx[archKey{b, harness.ArchAila, bn}]
 			if !ok {
 				continue
 			}
-			dmk, _ := get(b, harness.ArchDMK, bn)
-			tbc, _ := get(b, harness.ArchTBC, bn)
-			drs, _ := get(b, harness.ArchDRS, bn)
+			dmk := idx[archKey{b, harness.ArchDMK, bn}]
+			tbc := idx[archKey{b, harness.ArchTBC, bn}]
+			drs := idx[archKey{b, harness.ArchDRS, bn}]
 			speed := func(v float64) string {
 				if aila.Mrays == 0 {
 					return "-"

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cellsched"
 	"repro/internal/harness"
 	"repro/internal/scene"
 	"repro/internal/simt"
@@ -18,11 +19,21 @@ type Fig2Row struct {
 	Mrays     float64
 }
 
+// fig2Result is one bounce's cell outcome; ok is false when the bounce
+// stream was empty.
+type fig2Result struct {
+	ok  bool
+	row Fig2Row
+}
+
 // Figure2 reproduces Figure 2: per-bounce SIMD efficiency and Wm:n
 // utilization breakdown of the baseline (Aila) kernel on the
-// conference room benchmark, bounces 1..8.
+// conference room benchmark, bounces 1..8. Each bounce is a scheduler
+// cell; rows assemble in bounce order and stop at the first empty
+// bounce, matching the sequential loop exactly.
 func Figure2(p Params) ([]Fig2Row, error) {
-	w, err := BuildWorkload(scene.ConferenceRoom, p)
+	p = p.ensureCache()
+	w, err := p.workload(scene.ConferenceRoom)
 	if err != nil {
 		return nil, err
 	}
@@ -30,23 +41,39 @@ func Figure2(p Params) ([]Fig2Row, error) {
 	if bounces <= 0 || bounces > len(w.Traces.Streams) {
 		bounces = len(w.Traces.Streams)
 	}
-	var rows []Fig2Row
+	grid := make([]cellsched.Cell[fig2Result], 0, bounces)
 	for b := 1; b <= bounces; b++ {
-		if len(w.BounceRays(b, p)) == 0 {
+		grid = append(grid, cellsched.Cell[fig2Result]{
+			Key: fmt.Sprintf("fig2/B%d", b),
+			Run: func() (fig2Result, error) {
+				if len(w.BounceRays(b, p)) == 0 {
+					return fig2Result{}, nil
+				}
+				res, err := w.simulate(harness.ArchAila, b, p)
+				if err != nil {
+					return fig2Result{}, err
+				}
+				st := res.GPU.Stats
+				return fig2Result{ok: true, row: Fig2Row{
+					Bounce:    b,
+					Rays:      res.Rays,
+					Eff:       res.SIMDEff,
+					Breakdown: st.UtilizationBreakdown(p.Options.Simt.WarpSize),
+					Mrays:     res.Mrays,
+				}}, nil
+			},
+		})
+	}
+	results, err := cellsched.Run(grid, p.par())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig2Row
+	for _, r := range results {
+		if !r.ok {
 			break
 		}
-		res, err := w.simulate(harness.ArchAila, b, p)
-		if err != nil {
-			return nil, err
-		}
-		st := res.GPU.Stats
-		rows = append(rows, Fig2Row{
-			Bounce:    b,
-			Rays:      res.Rays,
-			Eff:       res.SIMDEff,
-			Breakdown: st.UtilizationBreakdown(p.Options.Simt.WarpSize),
-			Mrays:     res.Mrays,
-		})
+		rows = append(rows, r.row)
 	}
 	return rows, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cellsched"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scene"
@@ -49,10 +50,19 @@ type Fig8Cell struct {
 	StallRate float64
 }
 
+// fig8Result is one cell outcome; ok is false when the bounce stream
+// was empty and the cell was skipped.
+type fig8Result struct {
+	ok   bool
+	cell Fig8Cell
+}
+
 // Figure8 reproduces Figures 8 and 9: simulated ray tracing performance
 // for the first `bounces` bounces of each scene under each backup-row
 // configuration, including the idealized DRS and Aila's method. The
-// paper evaluates bounces 1-4 with 2M rays each.
+// paper evaluates bounces 1-4 with 2M rays each. Cells run on the
+// scheduler (Options.Parallelism workers) and assemble positionally,
+// so output is identical at any worker count.
 func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error) {
 	if bounces <= 0 {
 		bounces = 4
@@ -60,12 +70,11 @@ func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error
 	if scenes == nil {
 		scenes = scene.Benchmarks
 	}
-	var cells []Fig8Cell
+	p = p.ensureCache()
+
+	grid := workloadCells[fig8Result](p, scenes)
+	prefetch := len(grid)
 	for _, b := range scenes {
-		w, err := BuildWorkload(b, p)
-		if err != nil {
-			return nil, err
-		}
 		for _, cfg := range Fig8Configs() {
 			pp := p
 			pp.Options.DRS = cfg.DRS
@@ -74,30 +83,68 @@ func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error
 				arch = harness.ArchAila
 			}
 			for bounce := 1; bounce <= bounces; bounce++ {
-				if len(w.BounceRays(bounce, pp)) == 0 {
-					continue
-				}
-				res, err := w.simulate(arch, bounce, pp)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s %s B%d: %w", b, cfg.Label, bounce, err)
-				}
-				cells = append(cells, Fig8Cell{
-					Scene:     b,
-					Bounce:    bounce,
-					Config:    cfg.Label,
-					Mrays:     res.Mrays,
-					StallRate: res.GPU.Stats.CtrlStallRate(),
+				grid = append(grid, cellsched.Cell[fig8Result]{
+					Key: fmt.Sprintf("fig8/%s/%s/B%d", b, cfg.Label, bounce),
+					Run: func() (fig8Result, error) {
+						w, err := pp.workload(b)
+						if err != nil {
+							return fig8Result{}, err
+						}
+						if len(w.BounceRays(bounce, pp)) == 0 {
+							return fig8Result{}, nil
+						}
+						res, err := w.simulate(arch, bounce, pp)
+						if err != nil {
+							return fig8Result{}, fmt.Errorf("fig8 %s %s B%d: %w", b, cfg.Label, bounce, err)
+						}
+						return fig8Result{ok: true, cell: Fig8Cell{
+							Scene:     b,
+							Bounce:    bounce,
+							Config:    cfg.Label,
+							Mrays:     res.Mrays,
+							StallRate: res.GPU.Stats.CtrlStallRate(),
+						}}, nil
+					},
 				})
 			}
 		}
 	}
+	results, err := cellsched.Run(grid, p.par())
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig8Cell
+	for _, r := range results[prefetch:] {
+		if r.ok {
+			cells = append(cells, r.cell)
+		}
+	}
 	return cells, nil
+}
+
+// fig8Key indexes Fig8Cells for the renderers.
+type fig8Key struct {
+	scene  scene.Benchmark
+	config string
+	bounce int
+}
+
+func indexFig8Cells(cells []Fig8Cell) map[fig8Key]Fig8Cell {
+	m := make(map[fig8Key]Fig8Cell, len(cells))
+	for _, c := range cells {
+		k := fig8Key{c.Scene, c.Config, c.Bounce}
+		if _, ok := m[k]; !ok {
+			m[k] = c
+		}
+	}
+	return m
 }
 
 // RenderFigure8 prints the Mrays/s sweep, one table per scene with one
 // row per configuration and one column per bounce.
 func RenderFigure8(cells []Fig8Cell, bounces int) string {
 	out := "Figure 8: simulated ray tracing performance (Mrays/s) by backup-row configuration\n"
+	idx := indexFig8Cells(cells)
 	for _, b := range scene.Benchmarks {
 		var rows [][]string
 		for _, cfg := range Fig8Configs() {
@@ -105,11 +152,9 @@ func RenderFigure8(cells []Fig8Cell, bounces int) string {
 			found := false
 			for bounce := 1; bounce <= bounces; bounce++ {
 				v := ""
-				for _, c := range cells {
-					if c.Scene == b && c.Config == cfg.Label && c.Bounce == bounce {
-						v = f1(c.Mrays)
-						found = true
-					}
+				if c, ok := idx[fig8Key{b, cfg.Label, bounce}]; ok {
+					v = f1(c.Mrays)
+					found = true
 				}
 				row = append(row, v)
 			}
@@ -133,6 +178,7 @@ func RenderFigure8(cells []Fig8Cell, bounces int) string {
 // conference room and fairy forest benchmarks (Figure 9).
 func RenderFigure9(cells []Fig8Cell, bounces int) string {
 	out := "Figure 9: warp issue stall rate of the rdctrl instruction\n"
+	idx := indexFig8Cells(cells)
 	for _, b := range []scene.Benchmark{scene.ConferenceRoom, scene.FairyForest} {
 		var rows [][]string
 		for _, cfg := range Fig8Configs() {
@@ -143,11 +189,9 @@ func RenderFigure9(cells []Fig8Cell, bounces int) string {
 			found := false
 			for bounce := 1; bounce <= bounces; bounce++ {
 				v := ""
-				for _, c := range cells {
-					if c.Scene == b && c.Config == cfg.Label && c.Bounce == bounce {
-						v = pct(c.StallRate)
-						found = true
-					}
+				if c, ok := idx[fig8Key{b, cfg.Label, bounce}]; ok {
+					v = pct(c.StallRate)
+					found = true
 				}
 				row = append(row, v)
 			}

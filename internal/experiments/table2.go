@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cellsched"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scene"
@@ -22,9 +23,18 @@ type Table2Cell struct {
 // Table2Buffers is the paper's swap-buffer sweep.
 var Table2Buffers = []int{6, 9, 12, 18}
 
+// table2Result is one cell outcome; ok is false when the bounce stream
+// was empty and the cell was skipped.
+type table2Result struct {
+	ok   bool
+	cell Table2Cell
+}
+
 // Table2 reproduces Table 2: ray tracing performance under 6, 9, 12
 // and 18 swap buffers, for the first `bounces` bounces of each scene
-// (the paper evaluates B1-B4).
+// (the paper evaluates B1-B4). Cells run on the scheduler
+// (Options.Parallelism workers) and assemble positionally, so output
+// is identical at any worker count.
 func Table2(p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, error) {
 	if bounces <= 0 {
 		bounces = 4
@@ -32,36 +42,61 @@ func Table2(p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, erro
 	if scenes == nil {
 		scenes = scene.Benchmarks
 	}
-	var cells []Table2Cell
+	p = p.ensureCache()
+
+	grid := workloadCells[table2Result](p, scenes)
+	prefetch := len(grid)
 	for _, b := range scenes {
-		w, err := BuildWorkload(b, p)
-		if err != nil {
-			return nil, err
-		}
 		for _, bufs := range Table2Buffers {
 			pp := p
 			cfg := core.DefaultConfig()
 			cfg.SwapBuffers = bufs
 			pp.Options.DRS = cfg
 			for bounce := 1; bounce <= bounces; bounce++ {
-				if len(w.BounceRays(bounce, pp)) == 0 {
-					continue
-				}
-				res, err := w.simulate(harness.ArchDRS, bounce, pp)
-				if err != nil {
-					return nil, fmt.Errorf("table2 %s #%d B%d: %w", b, bufs, bounce, err)
-				}
-				cells = append(cells, Table2Cell{
-					Scene:          b,
-					Bounce:         bounce,
-					Buffers:        bufs,
-					Mrays:          res.Mrays,
-					MeanSwapCycles: res.DRS.MeanSwapCycles(),
+				grid = append(grid, cellsched.Cell[table2Result]{
+					Key: fmt.Sprintf("table2/%s/#%d/B%d", b, bufs, bounce),
+					Run: func() (table2Result, error) {
+						w, err := pp.workload(b)
+						if err != nil {
+							return table2Result{}, err
+						}
+						if len(w.BounceRays(bounce, pp)) == 0 {
+							return table2Result{}, nil
+						}
+						res, err := w.simulate(harness.ArchDRS, bounce, pp)
+						if err != nil {
+							return table2Result{}, fmt.Errorf("table2 %s #%d B%d: %w", b, bufs, bounce, err)
+						}
+						return table2Result{ok: true, cell: Table2Cell{
+							Scene:          b,
+							Bounce:         bounce,
+							Buffers:        bufs,
+							Mrays:          res.Mrays,
+							MeanSwapCycles: res.DRS.MeanSwapCycles(),
+						}}, nil
+					},
 				})
 			}
 		}
 	}
+	results, err := cellsched.Run(grid, p.par())
+	if err != nil {
+		return nil, err
+	}
+	var cells []Table2Cell
+	for _, r := range results[prefetch:] {
+		if r.ok {
+			cells = append(cells, r.cell)
+		}
+	}
 	return cells, nil
+}
+
+// table2Key indexes Table2Cells for the renderer.
+type table2Key struct {
+	scene   scene.Benchmark
+	bounce  int
+	buffers int
 }
 
 // RenderTable2 prints the swap-buffer sweep in the paper's layout:
@@ -71,6 +106,13 @@ func RenderTable2(cells []Table2Cell, bounces int) string {
 	for _, bufs := range Table2Buffers {
 		header = append(header, fmt.Sprintf("#%d", bufs))
 	}
+	idx := make(map[table2Key]Table2Cell, len(cells))
+	for _, c := range cells {
+		k := table2Key{c.Scene, c.Bounce, c.Buffers}
+		if _, ok := idx[k]; !ok {
+			idx[k] = c
+		}
+	}
 	var rows [][]string
 	for _, b := range scene.Benchmarks {
 		for bounce := 1; bounce <= bounces; bounce++ {
@@ -78,11 +120,9 @@ func RenderTable2(cells []Table2Cell, bounces int) string {
 			found := false
 			for _, bufs := range Table2Buffers {
 				v := ""
-				for _, c := range cells {
-					if c.Scene == b && c.Bounce == bounce && c.Buffers == bufs {
-						v = f1(c.Mrays)
-						found = true
-					}
+				if c, ok := idx[table2Key{b, bounce, bufs}]; ok {
+					v = f1(c.Mrays)
+					found = true
 				}
 				row = append(row, v)
 			}

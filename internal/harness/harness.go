@@ -108,6 +108,14 @@ type Options struct {
 	// (0 = metrics.DefaultSeriesCap). The ring keeps the newest samples
 	// and counts evictions.
 	SeriesCap int
+	// Parallelism is the worker-pool size the experiment cell scheduler
+	// (internal/cellsched) uses to run independent Run simulations
+	// concurrently: 0 means GOMAXPROCS, 1 forces the sequential path.
+	// It never changes any result — each cell is an isolated device and
+	// the scheduler assembles outputs in canonical cell order, so tables
+	// and stats are byte-identical at every setting (drsbench -par N).
+	// A single Run call ignores it; only grid runners consult it.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's configuration: Table 1 GPU,

@@ -1,0 +1,44 @@
+package memsys
+
+import "testing"
+
+// BenchmarkCacheAccess measures the steady-state cost of one cache
+// lookup with its LRU move-to-front, alternating hits and conflict
+// misses across sets. After the warm-up fill, access must be
+// allocation-free (0 B/op): it runs once per line transaction of every
+// memory instruction of every warp, and a single allocation here
+// dominates full-suite wall-clock via the collector.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := newCache(48, 6, 128) // the L1 shape: 48KB, 6-way, 128B lines
+	// Warm every set past its associativity so the append-growth path
+	// is done before measurement and misses evict.
+	for a := uint64(0); a < 48*1024*8; a += 128 {
+		c.access(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mix of re-references (hits, move-to-front) and fresh lines
+		// (misses, eviction shift).
+		c.access(uint64(i%4096) * 128)
+		c.access(uint64(i) * 128)
+	}
+}
+
+// TestCacheAccessAllocFree pins the property the benchmark observes: a
+// steady-state access (hit or evicting miss) performs zero heap
+// allocations.
+func TestCacheAccessAllocFree(t *testing.T) {
+	c := newCache(48, 6, 128)
+	for a := uint64(0); a < 48*1024*8; a += 128 {
+		c.access(a)
+	}
+	n := int(testing.AllocsPerRun(1000, func() {
+		c.access(0x1000)      // hit path
+		c.access(0xdead0000)  // miss path (set full, evicts)
+		c.access(0xbeef00000) // different set miss
+	}))
+	if n != 0 {
+		t.Fatalf("cache.access allocated %d times per run; move-to-front must be allocation-free", n)
+	}
+}

@@ -12,6 +12,12 @@ import (
 	"repro/internal/metrics"
 )
 
+// This file runs on every simulated memory access; drslint flags
+// allocation churn (maps, fresh-slice append growth) in it. The cache
+// sets and port request buffers retain capacity across cycles.
+//
+//drslint:hotpath
+
 // Space identifies which path a memory access takes.
 type Space uint8
 

@@ -34,6 +34,15 @@ import (
 //     count — varies run to run: the race-to-the-lock pattern the
 //     epoch-barrier engine exists to eliminate. Concurrent code must
 //     route L2 traffic through memsys.OrderedL2's per-SMX ports.
+//   - hotpath-alloc: allocation churn in files tagged //drslint:hotpath
+//     (the simulator's per-cycle code: SMX stepping, warp divergence
+//     resolution, cache access). A map allocated or a fresh local slice
+//     grown by append on a path that runs every simulated cycle is pure
+//     GC pressure at millions of cycles per experiment; hot code reuses
+//     per-warp/per-port scratch buffers (x := s.buf[:0] ... s.buf = x)
+//     instead. The check flags make(map...)/map literals and appends
+//     that grow a slice freshly allocated in the same function; appends
+//     to pooled reslices and struct-field targets pass.
 //
 // The analysis is deliberately syntactic (go/ast + go/parser, no type
 // checker): map types are inferred from declarations visible in the
@@ -65,7 +74,14 @@ const (
 	// CheckSharedL2: free-running memsys.L2 constructed or accessed in
 	// a file that spawns goroutines.
 	CheckSharedL2 SrcCheck = "shared-l2"
+	// CheckHotPathAlloc: per-cycle allocation (map, or append growth of
+	// a fresh local slice) in a file tagged //drslint:hotpath.
+	CheckHotPathAlloc SrcCheck = "hotpath-alloc"
 )
+
+// hotpathDirective tags a file as per-cycle hot-path code, enabling
+// the hotpath-alloc check for every function in it.
+const hotpathDirective = "//drslint:hotpath"
 
 // memsysImport is the import path of the memory-system package whose
 // free-running L2 the shared-l2 check guards.
@@ -293,21 +309,27 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 	// no goroutines.
 	concurrent := fileSpawnsGoroutines(f)
 	sharedL2Suppress := strings.TrimSpace(allowDirective) + " shared-l2 -- <why the scheduler cannot reorder its accesses>"
+	// The hotpath-alloc check applies at file granularity too: the tag
+	// marks a file whose functions run every simulated cycle.
+	hot := fileTaggedHotpath(f)
+	hotSuppress := strings.TrimSpace(allowDirective) + " hotpath-alloc -- <why this allocation is off the per-cycle path>"
 
-	var walk func(n ast.Node, localMaps, localL2 map[string]bool)
-	walk = func(n ast.Node, localMaps, localL2 map[string]bool) {
+	var walk func(n ast.Node, localMaps, localL2, freshSlices map[string]bool)
+	walk = func(n ast.Node, localMaps, localL2, freshSlices map[string]bool) {
 		ast.Inspect(n, func(n ast.Node) bool {
 			switch t := n.(type) {
 			case *ast.FuncDecl:
 				if t.Body != nil {
 					// Fresh local scopes per function.
-					walk(t.Body, make(map[string]bool), make(map[string]bool))
+					walk(t.Body, make(map[string]bool), make(map[string]bool), make(map[string]bool))
 					return false
 				}
 			case *ast.AssignStmt:
 				// Track locals declared as maps: x := make(map[...]...),
-				// x := map[...]...{} — and locals bound to the free-running
-				// L2: x := memsys.NewL2(...).
+				// x := map[...]...{} — locals bound to the free-running
+				// L2: x := memsys.NewL2(...) — and locals holding freshly
+				// allocated slices (as opposed to pooled reslices like
+				// x := s.buf[:0], which the hot-path check permits).
 				if t.Tok == token.DEFINE {
 					for i, lhs := range t.Lhs {
 						id, ok := lhs.(*ast.Ident)
@@ -319,6 +341,11 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 						}
 						if isNewL2Call(t.Rhs[i], memsysNames) {
 							localL2[id.Name] = true
+						}
+						if exprMakesFreshSlice(t.Rhs[i]) {
+							freshSlices[id.Name] = true
+						} else {
+							delete(freshSlices, id.Name)
 						}
 					}
 				}
@@ -336,6 +363,13 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 									localL2[name.Name] = true
 								}
 							}
+							// var x []T appends from nil: every growth
+							// allocates.
+							if at, ok := vs.Type.(*ast.ArrayType); ok && at.Len == nil && len(vs.Values) == 0 {
+								for _, name := range vs.Names {
+									freshSlices[name.Name] = true
+								}
+							}
 						}
 					}
 				}
@@ -345,7 +379,29 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 						"range over map %s iterates in randomized order; simulation state fed from it diverges run to run (sort the keys, add a deterministic tie-break, or suppress with %q)",
 						exprString(t.X), strings.TrimSpace(allowDirective)+" map-range -- <why it is order-insensitive>")
 				}
+			case *ast.CompositeLit:
+				if hot && t.Type != nil && isMapType(t.Type) {
+					add(t.Pos(), CheckHotPathAlloc,
+						"map literal allocates in //drslint:hotpath code; per-cycle map churn is GC pressure — use reusable scratch arrays (cf. simt.Warp's uniqBuf/maskBuf) or suppress with %q",
+						hotSuppress)
+				}
 			case *ast.CallExpr:
+				if hot {
+					if id, ok := t.Fun.(*ast.Ident); ok && id.Obj == nil {
+						switch {
+						case id.Name == "make" && len(t.Args) > 0 && isMapType(t.Args[0]):
+							add(t.Pos(), CheckHotPathAlloc,
+								"make(map) allocates in //drslint:hotpath code; per-cycle map churn is GC pressure — use reusable scratch arrays (cf. simt.Warp's uniqBuf/maskBuf) or suppress with %q",
+								hotSuppress)
+						case id.Name == "append" && len(t.Args) > 0:
+							if base, ok := t.Args[0].(*ast.Ident); ok && freshSlices[base.Name] {
+								add(t.Pos(), CheckHotPathAlloc,
+									"append grows %q, a slice freshly allocated in this function, in //drslint:hotpath code; reuse a pooled buffer (x := s.buf[:0] ... s.buf = x) or suppress with %q",
+									base.Name, hotSuppress)
+							}
+						}
+					}
+				}
 				if !concurrent {
 					break
 				}
@@ -377,15 +433,47 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 					checkGoroutineWrites(lit, add)
 					// Still lint the body for L2 uses and the other checks;
 					// checkGoroutineWrites only covers captured assignments.
-					walk(lit.Body, localMaps, localL2)
+					walk(lit.Body, localMaps, localL2, freshSlices)
 				}
 				return false // checked; don't re-trigger on nested nodes
 			}
 			return true
 		})
 	}
-	walk(f, make(map[string]bool), make(map[string]bool))
+	walk(f, make(map[string]bool), make(map[string]bool), make(map[string]bool))
 	return fs
+}
+
+// fileTaggedHotpath reports whether the file carries the
+// //drslint:hotpath tag (on its own comment line anywhere in the file).
+func fileTaggedHotpath(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprMakesFreshSlice reports whether an expression evidently allocates
+// a new slice: make([]T, ...) or a slice composite literal. Reslices of
+// pooled storage (s.buf[:0]) and values read from fields or calls are
+// not fresh — appending to them reuses capacity.
+func exprMakesFreshSlice(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := t.Fun.(*ast.Ident); ok && id.Name == "make" && len(t.Args) > 0 {
+			at, ok := t.Args[0].(*ast.ArrayType)
+			return ok && at.Len == nil
+		}
+	case *ast.CompositeLit:
+		if at, ok := t.Type.(*ast.ArrayType); ok {
+			return at.Len == nil
+		}
+	}
+	return false
 }
 
 // fileSpawnsGoroutines reports whether the file contains any go

@@ -297,3 +297,144 @@ func TestLintRepoClean(t *testing.T) {
 		t.Fatalf("internal/... has determinism findings:\n%v", fs)
 	}
 }
+
+func TestLintHotpathMapMake(t *testing.T) {
+	fs := lint(t, `package p
+
+//drslint:hotpath
+
+func resolve() {
+	seen := make(map[int]uint32, 4)
+	seen[1] = 2
+	_ = seen
+}
+`)
+	f := findCheck(fs, CheckHotPathAlloc)
+	if f == nil {
+		t.Fatalf("make(map) in hotpath file not flagged: %v", fs)
+	}
+	if f.Line != 6 {
+		t.Errorf("flagged line %d, want 6", f.Line)
+	}
+}
+
+func TestLintHotpathMapLiteral(t *testing.T) {
+	fs := lint(t, `package p
+
+//drslint:hotpath
+
+func f() map[int]int { return map[int]int{1: 2} }
+`)
+	if findCheck(fs, CheckHotPathAlloc) == nil {
+		t.Fatalf("map literal in hotpath file not flagged: %v", fs)
+	}
+}
+
+func TestLintHotpathFreshSliceAppend(t *testing.T) {
+	fs := lint(t, `package p
+
+//drslint:hotpath
+
+func f(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func g(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+`)
+	var lines []int
+	for _, f := range fs {
+		if f.Check == CheckHotPathAlloc {
+			lines = append(lines, f.Line)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want 2 fresh-slice append findings (make'd and var-nil), got %v: %v", lines, fs)
+	}
+}
+
+// The pooled idiom — reslice a struct field to length zero, append,
+// store back — is exactly what hot code should do and must pass.
+func TestLintHotpathPooledResliceNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+
+//drslint:hotpath
+
+type warp struct {
+	uniqBuf []int
+	stack   []int
+}
+
+func (w *warp) resolve(targets []int) {
+	uniq := w.uniqBuf[:0]
+	for _, t := range targets {
+		uniq = append(uniq, t)
+	}
+	w.uniqBuf = uniq
+	w.stack = append(w.stack, len(uniq))
+}
+`)
+	if f := findCheck(fs, CheckHotPathAlloc); f != nil {
+		t.Fatalf("pooled reslice/field append flagged: %v", f)
+	}
+}
+
+func TestLintHotpathUntaggedFileNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+
+func f() map[int]int {
+	out := make([]int, 0, 4)
+	out = append(out, 1)
+	_ = out
+	return make(map[int]int)
+}
+`)
+	if f := findCheck(fs, CheckHotPathAlloc); f != nil {
+		t.Fatalf("untagged file flagged: %v", f)
+	}
+}
+
+func TestLintHotpathAllowed(t *testing.T) {
+	fs := lint(t, `package p
+
+//drslint:hotpath
+
+func launch() {
+	//drslint:allow hotpath-alloc -- runs once per kernel launch, not per cycle
+	m := make(map[int]int)
+	_ = m
+}
+`)
+	if f := findCheck(fs, CheckHotPathAlloc); f != nil {
+		t.Fatalf("allowed hotpath alloc still flagged: %v", f)
+	}
+}
+
+// Constructor-style make([]T, n) without append growth is allocation
+// but not churn-by-growth; the check targets maps and append growth.
+func TestLintHotpathPlainMakeSliceNotFlagged(t *testing.T) {
+	fs := lint(t, `package p
+
+//drslint:hotpath
+
+func launchAll(n int) []int32 {
+	slots := make([]int32, n)
+	for i := range slots {
+		slots[i] = int32(i)
+	}
+	return slots
+}
+`)
+	if f := findCheck(fs, CheckHotPathAlloc); f != nil {
+		t.Fatalf("make([]T, n) without growth flagged: %v", f)
+	}
+}

@@ -3,12 +3,16 @@ package simt
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"repro/internal/memsys"
 	"repro/internal/metrics"
 	"repro/internal/regfile"
 )
+
+// This file runs every simulated cycle; drslint flags allocation churn
+// (maps, fresh-slice append growth) in it. Reuse warp/SMX scratch.
+//
+//drslint:hotpath
 
 // SMX is one streaming multiprocessor: a set of resident warps driven
 // by greedy-then-oldest schedulers, a banked register file, and private
@@ -432,14 +436,18 @@ func (s *SMX) enterBlock(w *Warp) bool {
 		s.kernel.Step(slot, w.block, &w.res[l])
 	}
 	if s.voter != nil {
-		slots := make([]int32, 0, s.cfg.WarpSize)
-		results := make([]*StepResult, 0, s.cfg.WarpSize)
+		// Reuse the warp's vote scratch: this runs at every block entry,
+		// and a fresh pair of slices per entry is pure GC pressure.
+		slots := w.voteSlots[:0]
+		results := w.voteRes[:0]
 		for l := 0; l < s.cfg.WarpSize; l++ {
 			if mask&(1<<uint(l)) != 0 {
 				slots = append(slots, w.slots[l])
 				results = append(results, &w.res[l])
 			}
 		}
+		w.voteSlots = slots
+		w.voteRes = results
 		s.voter.Vote(w.id, w.block, slots, results)
 	}
 	w.insRemaining = b.Insts
@@ -569,25 +577,40 @@ func (s *SMX) resolve(w *Warp) {
 		w.phase = phaseEnter
 		return
 	}
-	// Gather distinct targets among surviving lanes.
+	// Gather distinct targets among surviving lanes into the warp's
+	// reusable scratch: uniq holds each target once (first-seen order),
+	// masks the lanes headed there. This runs once per completed block
+	// per warp, so it must not allocate; the distinct-target count is
+	// bounded by the warp size, making the linear dup-scan cheap.
 	lanes := w.laneBuf[:0]
 	targets := w.targetBuf[:0]
-	uniq := make(map[int]uint32, 4)
-	order := make([]int, 0, 4)
+	uniq := w.uniqBuf[:0]
+	masks := w.maskBuf[:0]
 	for l := 0; l < s.cfg.WarpSize; l++ {
 		if mask&(1<<uint(l)) == 0 {
 			continue
 		}
 		t := w.res[l].Next
-		if _, seen := uniq[t]; !seen {
-			order = append(order, t)
+		found := -1
+		for i, u := range uniq {
+			if u == t {
+				found = i
+				break
+			}
 		}
-		uniq[t] |= 1 << uint(l)
+		if found < 0 {
+			uniq = append(uniq, t)
+			masks = append(masks, 1<<uint(l))
+		} else {
+			masks[found] |= 1 << uint(l)
+		}
 		lanes = append(lanes, l)
 		targets = append(targets, t)
 	}
 	w.laneBuf = lanes
 	w.targetBuf = targets
+	w.uniqBuf = uniq
+	w.maskBuf = masks
 
 	if s.hooks.OnBlockEnd != nil {
 		if s.hooks.OnBlockEnd(s, w.id, w.block, lanes, targets) {
@@ -595,7 +618,7 @@ func (s *SMX) resolve(w *Warp) {
 			return
 		}
 	}
-	if len(order) > 1 && s.hooks.OnDiverge != nil {
+	if len(uniq) > 1 && s.hooks.OnDiverge != nil {
 		if s.hooks.OnDiverge(s, w.id, w.block, lanes, targets) {
 			s.recountLive()
 			return
@@ -603,8 +626,8 @@ func (s *SMX) resolve(w *Warp) {
 	}
 
 	top := &w.stack[len(w.stack)-1]
-	if len(order) == 1 {
-		top.pc = order[0]
+	if len(uniq) == 1 {
+		top.pc = uniq[0]
 		w.popReconverged()
 		if len(w.stack) == 0 {
 			s.retireWarp(w)
@@ -618,14 +641,24 @@ func (s *SMX) resolve(w *Warp) {
 	// Divergence: park the parent at the reconvergence block and push
 	// one entry per non-reconverging target. Deterministic push order:
 	// descending block id so loops (backward targets) run first.
+	// Insertion sort over the (target, mask) pairs: the set is tiny and
+	// sort.Sort's interface boxing would allocate on this path.
 	reconv := s.blocks[w.block].Reconv
 	top.pc = reconv
-	sort.Sort(sort.Reverse(sort.IntSlice(order)))
-	for _, t := range order {
+	for i := 1; i < len(uniq); i++ {
+		t, m := uniq[i], masks[i]
+		j := i - 1
+		for j >= 0 && uniq[j] < t {
+			uniq[j+1], masks[j+1] = uniq[j], masks[j]
+			j--
+		}
+		uniq[j+1], masks[j+1] = t, m
+	}
+	for i, t := range uniq {
 		if t == reconv {
 			continue // those lanes wait at the reconvergence point
 		}
-		w.stack = append(w.stack, stackEntry{reconv: reconv, pc: t, mask: uniq[t]})
+		w.stack = append(w.stack, stackEntry{reconv: reconv, pc: t, mask: masks[i]})
 	}
 	if len(w.stack) > 4*s.cfg.WarpSize {
 		panic(fmt.Sprintf("simt: runaway reconvergence stack (depth %d) at block %s",

@@ -6,6 +6,11 @@ import (
 	"repro/internal/memsys"
 )
 
+// This file runs every simulated cycle; drslint flags allocation churn
+// (maps, fresh-slice append growth) in it. Reuse warp scratch buffers.
+//
+//drslint:hotpath
+
 // memPending is one warp memory access awaiting the epoch drain's L2
 // hit/miss outcome: requests [first, first+count) on the SMX's L2
 // port, and the ready cycle to impose if any of them missed. Pending
@@ -66,9 +71,16 @@ type Warp struct {
 
 	res []StepResult // per-lane results for the current block
 
-	// scratch reused during resolve
+	// scratch reused during resolve and voting; resolve gathers the
+	// distinct branch targets into uniqBuf with their lane masks in
+	// maskBuf (parallel arrays — a warp has at most warpSize distinct
+	// targets, so a linear scan beats a map and allocates nothing).
 	laneBuf   []int
 	targetBuf []int
+	uniqBuf   []int
+	maskBuf   []uint32
+	voteSlots []int32
+	voteRes   []*StepResult
 }
 
 func newWarp(id, warpSize int) *Warp {
