@@ -14,7 +14,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +43,9 @@ func main() {
 		paper  = flag.Bool("paper", false, "use paper-scale parameters (slow)")
 		asJSON = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
 		engine = flag.String("engine", "epoch", "execution engine: epoch (deterministic barrier) or free (legacy free-running)")
-		par    = flag.Int("par", 0, "experiment cell scheduler workers (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
-		repeat = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
+		par     = flag.Int("par", 0, "experiment cell scheduler workers (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
+		repeat  = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
+		timeout = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = no limit); a timed-out run exits with code 3, distinct from divergence failures (1)")
 
 		statsJSON = flag.String("stats-json", "", "observed-run mode: write the full metrics registry dump (flat JSON) to this file")
 		traceOut  = flag.String("trace", "", "observed-run mode: write a Chrome trace (chrome://tracing / Perfetto) of per-SMX occupancy and stall phases to this file")
@@ -96,13 +99,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-repeat must be >= 1\n")
 		os.Exit(2)
 	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "-timeout must be >= 0\n")
+		os.Exit(2)
+	}
+
+	// The timeout rides the same context plumbing the service layer
+	// uses: scheduler workers stop claiming cells and in-flight device
+	// runs abort at their next epoch barrier.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Observed-run mode: -stats-json / -trace run one instrumented
 	// simulation (scene, architecture and bounce selected by flags)
 	// instead of the experiment suite, and write machine-readable
 	// artifacts. -repeat re-runs it and byte-compares the artifacts.
 	if *statsJSON != "" || *traceOut != "" {
-		runObserved(p, observedSpec{
+		runObserved(ctx, p, observedSpec{
 			scene:     pickScene(scenes),
 			arch:      *archFlag,
 			bounce:    *bounce,
@@ -118,7 +135,7 @@ func main() {
 	//drslint:allow wallclock -- wall time reports real CLI runtime, not simulated state
 	start := time.Now()
 
-	results, cache, err := sel.run(p)
+	results, cache, err := sel.run(ctx, p)
 	exitOn(err)
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead all\n", *exp)
@@ -144,7 +161,7 @@ func main() {
 			ref[r.name] = fp
 		}
 		for i := 2; i <= *repeat; i++ {
-			again, _, err := sel.run(p)
+			again, _, err := sel.run(ctx, p)
 			exitOn(err)
 			for _, r := range again {
 				fp, err := r.fingerprint()
@@ -196,7 +213,7 @@ func (s selection) want(name string) bool { return s.exp == "all" || s.exp == na
 // workload cache is shared across the whole selection, so a suite run
 // builds each scene's render+BVH+traces exactly once; each -repeat
 // iteration gets a fresh cache so repeats exercise the full pipeline.
-func (s selection) run(p experiments.Params) ([]expResult, *experiments.WorkloadCache, error) {
+func (s selection) run(ctx context.Context, p experiments.Params) ([]expResult, *experiments.WorkloadCache, error) {
 	p.Cache = experiments.NewWorkloadCache()
 	var out []expResult
 	if s.want("table1") {
@@ -206,14 +223,14 @@ func (s selection) run(p experiments.Params) ([]expResult, *experiments.Workload
 		out = append(out, expResult{name: "overhead", text: experiments.Overhead(core.DefaultConfig())})
 	}
 	if s.want("fig2") {
-		rows, err := experiments.Figure2(p)
+		rows, err := experiments.Figure2Ctx(ctx, p)
 		if err != nil {
 			return nil, nil, err
 		}
 		out = append(out, expResult{"fig2", rows, experiments.RenderFigure2(rows)})
 	}
 	if s.want("fig8") || s.want("fig9") {
-		cells, err := experiments.Figure8(p, s.sweepB, s.scenes)
+		cells, err := experiments.Figure8Ctx(ctx, p, s.sweepB, s.scenes)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -225,14 +242,14 @@ func (s selection) run(p experiments.Params) ([]expResult, *experiments.Workload
 		}
 	}
 	if s.want("table2") {
-		cells, err := experiments.Table2(p, s.sweepB, s.scenes)
+		cells, err := experiments.Table2Ctx(ctx, p, s.sweepB, s.scenes)
 		if err != nil {
 			return nil, nil, err
 		}
 		out = append(out, expResult{"table2", cells, experiments.RenderTable2(cells, s.sweepB)})
 	}
 	if s.want("fig10") || s.want("fig11") {
-		cells, err := experiments.Figure10(p, s.cmpB, s.scenes)
+		cells, err := experiments.Figure10Ctx(ctx, p, s.cmpB, s.scenes)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -247,8 +264,16 @@ func (s selection) run(p experiments.Params) ([]expResult, *experiments.Workload
 }
 
 func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "drsbench:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	// A -timeout expiry is an operational condition, not a determinism
+	// or simulation failure; give it its own exit code so CI wrappers
+	// can tell the two apart.
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "drsbench: timed out:", err)
+		os.Exit(3)
+	}
+	fmt.Fprintln(os.Stderr, "drsbench:", err)
+	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -45,7 +46,7 @@ func parseArch(s string) (harness.Arch, error) {
 // artifacts. With repeat > 1 every run's serialized artifacts must be
 // byte-identical or the process exits 1 — the metrics dump is the
 // determinism fingerprint, not a float-rounded table.
-func runObserved(p experiments.Params, spec observedSpec) {
+func runObserved(ctx context.Context, p experiments.Params, spec observedSpec) {
 	arch, err := parseArch(spec.arch)
 	exitOn(err)
 	p.Options.Observe = true
@@ -62,7 +63,7 @@ func runObserved(p experiments.Params, spec observedSpec) {
 
 	var refStats, refTrace []byte
 	for i := 1; i <= spec.repeat; i++ {
-		res, err := harness.Run(arch, rays, w.Data, p.Options)
+		res, err := harness.RunCtx(ctx, arch, rays, w.Data, p.Options)
 		exitOn(err)
 		stats, err := json.Marshal(res.Metrics)
 		exitOn(err)

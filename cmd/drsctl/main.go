@@ -1,0 +1,226 @@
+// Command drsctl is the client for the drsd job daemon.
+//
+//	drsctl [-addr URL] submit [flags]   submit a job (see submit -help)
+//	drsctl [-addr URL] status <id>      job status
+//	drsctl [-addr URL] result <id>      result artifact
+//	drsctl [-addr URL] watch <id>       stream SSE progress events
+//	drsctl [-addr URL] jobs             list jobs in admission order
+//	drsctl [-addr URL] metrics          canonical metrics snapshot
+//	drsctl [-addr URL] health           daemon liveness / drain state
+//
+// Exit codes: 0 success, 1 remote or transport error, 2 usage.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/service"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: drsctl [-addr URL] submit|status|result|watch|jobs|metrics|health [args]")
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8321", "drsd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := client{base: *addr}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		c.submit(rest)
+	case "status":
+		c.show(rest, "status", "/v1/jobs/%s")
+	case "result":
+		c.show(rest, "result", "/v1/jobs/%s/result")
+	case "watch":
+		c.watch(rest)
+	case "jobs":
+		c.get("/v1/jobs")
+	case "metrics":
+		c.get("/metrics")
+	case "health":
+		c.get("/healthz")
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+type client struct{ base string }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "drsctl:", err)
+	os.Exit(1)
+}
+
+// emit prints a response body and exits 1 on a non-2xx status after
+// printing it (error bodies are JSON and worth seeing).
+func emit(body []byte, code int) {
+	os.Stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
+	if code < 200 || code >= 300 {
+		fmt.Fprintf(os.Stderr, "drsctl: HTTP %d\n", code)
+		os.Exit(1)
+	}
+}
+
+func (c client) get(path string) {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	emit(body, resp.StatusCode)
+}
+
+// show handles the one-ID subcommands (status, result).
+func (c client) show(args []string, name, pattern string) {
+	if len(args) != 1 {
+		fmt.Fprintf(os.Stderr, "usage: drsctl %s <job-id>\n", name)
+		os.Exit(2)
+	}
+	c.get(fmt.Sprintf(pattern, args[0]))
+}
+
+func (c client) submit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		wait     = fs.Bool("wait", false, "block until the job finishes and print the result artifact")
+		specFile = fs.String("spec", "", "read the job spec JSON from this file (- = stdin) instead of building it from flags")
+
+		kind    = fs.String("kind", service.KindRun, "job kind: run|fig10|table2")
+		scen    = fs.String("scene", "conference", "benchmark scene (empty on grid jobs = all four)")
+		arch    = fs.String("arch", "drs", "architecture for run jobs: aila|drs|dmk|tbc")
+		bounce  = fs.Int("bounce", 1, "trace bounce for run jobs")
+		tris    = fs.Int("tris", 0, "triangle budget (0 = service default)")
+		width   = fs.Int("w", 0, "trace render width (0 = service default)")
+		height  = fs.Int("h", 0, "trace render height (0 = service default)")
+		spp     = fs.Int("spp", 0, "samples per pixel (0 = service default)")
+		rays    = fs.Int("rays", 0, "cap rays per bounce (0 = no cap)")
+		bounces = fs.Int("bounces", 0, "bounces to simulate on grid jobs (0 = service default)")
+		sweepB  = fs.Int("sweep-bounces", 0, "per-bounce rows for table2 (0 = service default)")
+		cmpB    = fs.Int("cmp-bounces", 0, "per-bounce rows for fig10 (0 = service default)")
+		par     = fs.Int("par", 0, "cell scheduler workers inside the job (0 = GOMAXPROCS)")
+		observe = fs.Bool("observe", false, "attach the metrics registry and epoch progress stream (run jobs)")
+		timeout = fs.Int64("timeout-ms", 0, "per-job execution deadline in ms (0 = server default)")
+	)
+	fs.Parse(args)
+
+	var payload []byte
+	switch {
+	case *specFile == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		payload = data
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fail(err)
+		}
+		payload = data
+	default:
+		spec := service.JobSpec{
+			Kind:             *kind,
+			Scene:            *scen,
+			Arch:             *arch,
+			Bounce:           *bounce,
+			Tris:             *tris,
+			Width:            *width,
+			Height:           *height,
+			SPP:              *spp,
+			MaxRaysPerBounce: *rays,
+			Bounces:          *bounces,
+			SweepBounces:     *sweepB,
+			CmpBounces:       *cmpB,
+			Parallelism:      *par,
+			Observe:          *observe,
+			TimeoutMS:        *timeout,
+		}
+		if *kind != service.KindRun {
+			// Grid jobs reject run-only fields; drop the run defaults
+			// (and the scene default, unless -scene was given
+			// explicitly — an empty scene means all four benchmarks).
+			spec.Arch = ""
+			spec.Bounce = 0
+			sceneSet := false
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "scene" {
+					sceneSet = true
+				}
+			})
+			if !sceneSet {
+				spec.Scene = ""
+			}
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			fail(err)
+		}
+		payload = data
+	}
+
+	url := c.base + "/v1/jobs"
+	if *wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	emit(body, resp.StatusCode)
+}
+
+// watch streams a job's SSE events to stdout until the stream ends.
+func (c client) watch(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: drsctl watch <job-id>")
+		os.Exit(2)
+	}
+	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		emit(body, resp.StatusCode)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line != "" {
+			fmt.Println(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+}

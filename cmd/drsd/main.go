@@ -1,0 +1,88 @@
+// Command drsd is the deterministic simulation job daemon: an
+// HTTP/JSON front end over internal/service. It accepts simulation and
+// experiment specs, content-addresses them so identical concurrent
+// submissions share one execution, runs them on a bounded worker pool
+// with a process-wide workload cache, and streams epoch-barrier
+// progress over SSE.
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops admission (submissions
+// get 503), in-flight and queued jobs drain up to -drain, and the
+// process exits 0 on a clean drain, 1 if jobs had to be canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8321", "listen address")
+		workers    = flag.Int("workers", 2, "job worker pool size (each job fans out on the cell scheduler per its spec)")
+		queue      = flag.Int("queue", 16, "admission queue depth; submissions beyond it are rejected with 429")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job execution deadline (specs may set their own)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline: how long to let admitted jobs finish before canceling them")
+		retries    = flag.Int("retries", 3, "max execution attempts per job (only transient failures retry)")
+		epochEvery = flag.Int64("epoch-events", 16, "emit one SSE progress event per N epoch barriers on observed runs")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *jobTimeout,
+		MaxAttempts:     *retries,
+		EpochEventEvery: *epochEvery,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("drsd: listen: %v", err)
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- srv.Serve(ln)
+	}()
+	log.Printf("drsd: listening on %s (%d workers, queue %d)", ln.Addr(), *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("drsd: serve: %v", err)
+	case got := <-sig:
+		log.Printf("drsd: %v: draining (deadline %s)", got, *drain)
+	}
+
+	// Stop admitting and let everything already accepted finish, then
+	// shut the HTTP server down — in that order, so clients blocked on
+	// ?wait=1 receive their results before their connections close.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	drainErr := svc.Drain(drainCtx)
+
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("drsd: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("drsd: %v", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "drsd: drained cleanly")
+}

@@ -24,6 +24,7 @@
 package cellsched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,6 +52,21 @@ type Cell[T any] struct {
 // for in-flight ones, and returns the error of the failing cell with
 // the lowest index, wrapped with its Key.
 func Run[T any](cells []Cell[T], par int) ([]T, error) {
+	return RunCtx(context.Background(), cells, par)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done,
+// workers stop claiming new cells, wait for the in-flight ones (whose
+// Run closures observe the same cancellation at their next internal
+// check, provided the caller threaded ctx into them), and RunCtx
+// returns an error. An uncancelled RunCtx behaves exactly like Run:
+// same results, byte for byte, at any worker count.
+//
+// Error reporting stays deterministic under cancellation: the failing
+// cell with the lowest index wins, exactly as in Run. Only if no
+// claimed cell reported an error does RunCtx fall back to ctx.Err()
+// (cells were skipped, so the grid is incomplete).
+func RunCtx[T any](ctx context.Context, cells []Cell[T], par int) ([]T, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -63,6 +79,9 @@ func Run[T any](cells []Cell[T], par int) ([]T, error) {
 		// error in index order is the same error the parallel path
 		// reports (workers claim indices monotonically and drain).
 		for i := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cellsched: cancelled before cell %q: %w", cells[i].Key, err)
+			}
 			v, err := cells[i].Run()
 			if err != nil {
 				return nil, fmt.Errorf("cellsched: cell %q: %w", cells[i].Key, err)
@@ -77,11 +96,15 @@ func Run[T any](cells []Cell[T], par int) ([]T, error) {
 		wg     sync.WaitGroup
 	)
 	errs := make([]error, len(cells))
+	claimed := 0
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(cells) || failed.Load() {
 					return
@@ -97,12 +120,17 @@ func Run[T any](cells []Cell[T], par int) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	claimed = int(next.Load())
 	// Index order, not completion order: the lowest-index failure wins,
 	// and every cell below it has completed (claims are monotonic).
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cellsched: cell %q: %w", cells[i].Key, err)
 		}
+	}
+	if err := ctx.Err(); err != nil && claimed < len(cells) {
+		return nil, fmt.Errorf("cellsched: cancelled with %d of %d cells unclaimed: %w",
+			len(cells)-min(claimed, len(cells)), len(cells), err)
 	}
 	return out, nil
 }

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -75,6 +76,27 @@ func PaperParams() Params {
 	return p
 }
 
+// Validate rejects parameter combinations that cannot produce a
+// meaningful workload: a zero-sized render traces no rays, and negative
+// budgets or out-of-range bounce counts are always caller bugs. The
+// builders call it up front so a malformed request fails with a named
+// parameter instead of an empty-stream error (or a panic) downstream.
+func (p Params) Validate() error {
+	switch {
+	case p.Width <= 0 || p.Height <= 0:
+		return fmt.Errorf("experiments: render size %dx%d must be positive in both dimensions", p.Width, p.Height)
+	case p.SPP <= 0:
+		return fmt.Errorf("experiments: samples per pixel %d must be positive", p.SPP)
+	case p.Tris < 0:
+		return fmt.Errorf("experiments: triangle budget %d must not be negative (0 selects the paper's full count)", p.Tris)
+	case p.MaxRaysPerBounce < 0:
+		return fmt.Errorf("experiments: per-bounce ray cap %d must not be negative (0 disables the cap)", p.MaxRaysPerBounce)
+	case p.Bounces < 0 || p.Bounces > trace.MaxBounces:
+		return fmt.Errorf("experiments: bounce count %d out of range [0,%d]", p.Bounces, trace.MaxBounces)
+	}
+	return nil
+}
+
 // Workload is a scene prepared for simulation.
 type Workload struct {
 	Benchmark scene.Benchmark
@@ -87,6 +109,9 @@ type Workload struct {
 // BuildWorkload generates the procedural scene, builds its BVH, and
 // captures per-bounce ray traces with the CPU path tracer.
 func BuildWorkload(b scene.Benchmark, p Params) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	s := scene.Generate(b, p.Tris)
 	bv, err := bvh.Build(s.Tris, bvh.DefaultOptions())
 	if err != nil {
@@ -123,11 +148,18 @@ func (w *Workload) BounceRays(b int, p Params) []geom.Ray {
 
 // simulate runs one architecture on one bounce stream.
 func (w *Workload) simulate(arch harness.Arch, bounce int, p Params) (*harness.Result, error) {
+	return w.simulateCtx(context.Background(), arch, bounce, p)
+}
+
+// simulateCtx is simulate with cancellation threaded into the engine:
+// an in-flight device run aborts at its next epoch barrier once ctx is
+// done.
+func (w *Workload) simulateCtx(ctx context.Context, arch harness.Arch, bounce int, p Params) (*harness.Result, error) {
 	rays := w.BounceRays(bounce, p)
 	if len(rays) == 0 {
 		return nil, fmt.Errorf("experiments: %s bounce %d has no rays", w.Benchmark, bounce)
 	}
-	return harness.Run(arch, rays, w.Data, p.Options)
+	return harness.RunCtx(ctx, arch, rays, w.Data, p.Options)
 }
 
 // table renders rows of columns with a header as aligned text.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cellsched"
@@ -53,6 +54,14 @@ type fig10Result struct {
 // assembled positionally in the canonical scene/arch/bounce order, so
 // the output is byte-identical at any worker count.
 func Figure10(p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, error) {
+	return Figure10Ctx(context.Background(), p, perBounce, scenes)
+}
+
+// Figure10Ctx is Figure10 with cancellation: scheduler workers stop
+// claiming cells once ctx is done and in-flight device runs abort at
+// their next epoch barrier. An uncancelled call is byte-identical to
+// Figure10.
+func Figure10Ctx(ctx context.Context, p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, error) {
 	if perBounce <= 0 {
 		perBounce = 3
 	}
@@ -80,7 +89,7 @@ func Figure10(p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, er
 						if len(w.BounceRays(bounce, p)) == 0 {
 							return fig10Result{}, nil
 						}
-						res, err := w.simulate(arch, bounce, p)
+						res, err := w.simulateCtx(ctx, arch, bounce, p)
 						if err != nil {
 							return fig10Result{}, fmt.Errorf("fig10 %s %s B%d: %w", b, arch, bounce, err)
 						}
@@ -104,7 +113,7 @@ func Figure10(p Params, perBounce int, scenes []scene.Benchmark) ([]ArchCell, er
 			}
 		}
 	}
-	results, err := cellsched.Run(grid, p.par())
+	results, err := cellsched.RunCtx(ctx, grid, p.par())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cellsched"
@@ -32,6 +33,14 @@ type fig2Result struct {
 // cell; rows assemble in bounce order and stop at the first empty
 // bounce, matching the sequential loop exactly.
 func Figure2(p Params) ([]Fig2Row, error) {
+	return Figure2Ctx(context.Background(), p)
+}
+
+// Figure2Ctx is Figure2 with cancellation: scheduler workers stop
+// claiming cells once ctx is done and in-flight device runs abort at
+// their next epoch barrier. An uncancelled call is byte-identical to
+// Figure2.
+func Figure2Ctx(ctx context.Context, p Params) ([]Fig2Row, error) {
 	p = p.ensureCache()
 	w, err := p.workload(scene.ConferenceRoom)
 	if err != nil {
@@ -49,7 +58,7 @@ func Figure2(p Params) ([]Fig2Row, error) {
 				if len(w.BounceRays(b, p)) == 0 {
 					return fig2Result{}, nil
 				}
-				res, err := w.simulate(harness.ArchAila, b, p)
+				res, err := w.simulateCtx(ctx, harness.ArchAila, b, p)
 				if err != nil {
 					return fig2Result{}, err
 				}
@@ -64,7 +73,7 @@ func Figure2(p Params) ([]Fig2Row, error) {
 			},
 		})
 	}
-	results, err := cellsched.Run(grid, p.par())
+	results, err := cellsched.RunCtx(ctx, grid, p.par())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cellsched"
@@ -64,6 +65,14 @@ type fig8Result struct {
 // scheduler (Options.Parallelism workers) and assemble positionally,
 // so output is identical at any worker count.
 func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error) {
+	return Figure8Ctx(context.Background(), p, bounces, scenes)
+}
+
+// Figure8Ctx is Figure8 with cancellation: scheduler workers stop
+// claiming cells once ctx is done and in-flight device runs abort at
+// their next epoch barrier. An uncancelled call is byte-identical to
+// Figure8.
+func Figure8Ctx(ctx context.Context, p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error) {
 	if bounces <= 0 {
 		bounces = 4
 	}
@@ -93,7 +102,7 @@ func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error
 						if len(w.BounceRays(bounce, pp)) == 0 {
 							return fig8Result{}, nil
 						}
-						res, err := w.simulate(arch, bounce, pp)
+						res, err := w.simulateCtx(ctx, arch, bounce, pp)
 						if err != nil {
 							return fig8Result{}, fmt.Errorf("fig8 %s %s B%d: %w", b, cfg.Label, bounce, err)
 						}
@@ -109,7 +118,7 @@ func Figure8(p Params, bounces int, scenes []scene.Benchmark) ([]Fig8Cell, error
 			}
 		}
 	}
-	results, err := cellsched.Run(grid, p.par())
+	results, err := cellsched.RunCtx(ctx, grid, p.par())
 	if err != nil {
 		return nil, err
 	}

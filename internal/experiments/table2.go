@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cellsched"
@@ -36,6 +37,14 @@ type table2Result struct {
 // (Options.Parallelism workers) and assemble positionally, so output
 // is identical at any worker count.
 func Table2(p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, error) {
+	return Table2Ctx(context.Background(), p, bounces, scenes)
+}
+
+// Table2Ctx is Table2 with cancellation: scheduler workers stop
+// claiming cells once ctx is done and in-flight device runs abort at
+// their next epoch barrier. An uncancelled call is byte-identical to
+// Table2.
+func Table2Ctx(ctx context.Context, p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, error) {
 	if bounces <= 0 {
 		bounces = 4
 	}
@@ -63,7 +72,7 @@ func Table2(p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, erro
 						if len(w.BounceRays(bounce, pp)) == 0 {
 							return table2Result{}, nil
 						}
-						res, err := w.simulate(harness.ArchDRS, bounce, pp)
+						res, err := w.simulateCtx(ctx, harness.ArchDRS, bounce, pp)
 						if err != nil {
 							return table2Result{}, fmt.Errorf("table2 %s #%d B%d: %w", b, bufs, bounce, err)
 						}
@@ -79,7 +88,7 @@ func Table2(p Params, bounces int, scenes []scene.Benchmark) ([]Table2Cell, erro
 			}
 		}
 	}
-	results, err := cellsched.Run(grid, p.par())
+	results, err := cellsched.RunCtx(ctx, grid, p.par())
 	if err != nil {
 		return nil, err
 	}

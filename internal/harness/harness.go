@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -116,6 +117,13 @@ type Options struct {
 	// and stats are byte-identical at every setting (drsbench -par N).
 	// A single Run call ignores it; only grid runners consult it.
 	Parallelism int
+	// OnEpochSample, when set together with Observe, is invoked at every
+	// epoch barrier with the device cycle and the sampled series row
+	// (metrics.Series.OnSample). It runs on the engine goroutine with
+	// all SMX workers parked; the row must be copied if retained. The
+	// service layer feeds its live SSE progress streams from it. With
+	// CheckDeterminism the hook fires for both runs.
+	OnEpochSample func(cycle int64, row []int64)
 }
 
 // DefaultOptions returns the paper's configuration: Table 1 GPU,
@@ -163,11 +171,24 @@ type Result struct {
 
 // Run simulates tracing the given rays on the chosen architecture.
 func Run(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
-	res, err := runOnce(arch, rays, data, opt)
+	return RunCtx(context.Background(), arch, rays, data, opt)
+}
+
+// RunCtx is Run with cooperative cancellation: the options are
+// validated up front (typed *OptionsError) and ctx is threaded into the
+// engine, which observes it at every epoch barrier, so a deadline or a
+// client disconnect stops a long simulation within one epoch.
+// Cancellation returns only an error, never a partial result, so an
+// uncancelled RunCtx is byte-identical to Run.
+func RunCtx(ctx context.Context, arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
+	if err := opt.Validate(arch); err != nil {
+		return nil, err
+	}
+	res, err := runOnce(ctx, arch, rays, data, opt)
 	if err != nil || !opt.CheckDeterminism {
 		return res, err
 	}
-	again, err := runOnce(arch, rays, data, opt)
+	again, err := runOnce(ctx, arch, rays, data, opt)
 	if err != nil {
 		return nil, fmt.Errorf("harness: determinism check re-run: %w", err)
 	}
@@ -209,7 +230,7 @@ func compareRuns(a, b *Result) error {
 }
 
 // runOnce performs one complete simulation.
-func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
+func runOnce(ctx context.Context, arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (*Result, error) {
 	if len(rays) == 0 {
 		return nil, fmt.Errorf("harness: empty ray stream")
 	}
@@ -232,6 +253,7 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 		col.Registry.Const("run/arch", int64(arch))
 		col.Registry.Const("run/num_smx", int64(cfg.NumSMX))
 		col.Registry.Const("run/epoch_cycles", cfg.EpochLen())
+		col.Series.OnSample = opt.OnEpochSample
 		cfg.Collector = col
 	}
 
@@ -320,7 +342,7 @@ func runOnce(arch Arch, rays []geom.Ray, data *kernels.SceneData, opt Options) (
 		}
 	}
 
-	gpu, err := simt.RunGPU(cfg, factory)
+	gpu, err := simt.RunGPUCtx(ctx, cfg, factory)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OptionsError reports one invalid Options field. Run and RunCtx reject
+// bad configurations up front with this typed error instead of letting
+// them panic deep in the engine (a zero warp count used to surface as a
+// divide-by-zero inside the scheduler); callers match it with
+// errors.As or AsOptionsError.
+type OptionsError struct {
+	// Field names the offending option ("AilaWarps", "Simt.NumSMX").
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("harness: invalid options: %s: %s", e.Field, e.Reason)
+}
+
+// AsOptionsError unwraps err to an *OptionsError if there is one.
+func AsOptionsError(err error) (*OptionsError, bool) {
+	var oe *OptionsError
+	ok := errors.As(err, &oe)
+	return oe, ok
+}
+
+// MaxParallelism bounds Options.Parallelism: a worker-pool size beyond
+// any plausible core count is a caller bug (or an unvalidated request),
+// not a tuning choice.
+const MaxParallelism = 4096
+
+// Validate checks the options against the architecture they will run
+// and returns a typed *OptionsError for the first rejected field. Run
+// and RunCtx call it before building any device state, so a malformed
+// configuration fails fast with a named field instead of panicking in
+// the engine.
+func (o Options) Validate(arch Arch) error {
+	switch arch {
+	case ArchAila, ArchDMK, ArchTBC:
+		if o.AilaWarps <= 0 {
+			return &OptionsError{
+				Field:  "AilaWarps",
+				Reason: fmt.Sprintf("warp count %d must be positive for the %s architecture (the paper uses 48)", o.AilaWarps, arch),
+			}
+		}
+	case ArchDRS:
+		if err := o.DRS.Validate(); err != nil {
+			return &OptionsError{Field: "DRS", Reason: err.Error()}
+		}
+	default:
+		return &OptionsError{Field: "Arch", Reason: fmt.Sprintf("unknown architecture %d", arch)}
+	}
+	if o.Parallelism < 0 || o.Parallelism > MaxParallelism {
+		return &OptionsError{
+			Field:  "Parallelism",
+			Reason: fmt.Sprintf("worker count %d out of range [0,%d] (0 selects GOMAXPROCS)", o.Parallelism, MaxParallelism),
+		}
+	}
+	if o.SeriesCap < 0 {
+		return &OptionsError{
+			Field:  "SeriesCap",
+			Reason: fmt.Sprintf("series ring capacity %d must not be negative (0 selects the default)", o.SeriesCap),
+		}
+	}
+	if o.Simt.EpochCycles < 0 {
+		return &OptionsError{
+			Field:  "Simt.EpochCycles",
+			Reason: fmt.Sprintf("epoch length %d is below the floor of 1 device cycle (0 selects the default, which EpochLen clamps to the minimum L2-bound latency)", o.Simt.EpochCycles),
+		}
+	}
+	// The device config has its own validator (warp size, SMX count,
+	// clock, engine); surface its verdict under one field so callers see
+	// the same typed error shape for every rejection.
+	cfg := o.Simt
+	if arch == ArchDRS {
+		// The DRS warp count comes from its row config, not Simt's;
+		// substitute it the same way runOnce will before validating.
+		cfg.MaxWarpsPerSMX = o.DRS.Warps()
+	} else {
+		cfg.MaxWarpsPerSMX = o.AilaWarps
+	}
+	if err := cfg.Validate(); err != nil {
+		return &OptionsError{Field: "Simt", Reason: err.Error()}
+	}
+	return nil
+}

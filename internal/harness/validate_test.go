@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestValidateRejections is the table test for the up-front Options
+// validation: every malformed configuration must fail with a typed
+// *OptionsError naming the offending field, never a deep panic.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		arch   Arch
+		mutate func(*Options)
+		field  string
+	}{
+		{
+			name: "zero aila warps", arch: ArchAila,
+			mutate: func(o *Options) { o.AilaWarps = 0 },
+			field:  "AilaWarps",
+		},
+		{
+			name: "negative aila warps on dmk", arch: ArchDMK,
+			mutate: func(o *Options) { o.AilaWarps = -7 },
+			field:  "AilaWarps",
+		},
+		{
+			name: "zero aila warps on tbc", arch: ArchTBC,
+			mutate: func(o *Options) { o.AilaWarps = 0 },
+			field:  "AilaWarps",
+		},
+		{
+			name: "broken drs config", arch: ArchDRS,
+			mutate: func(o *Options) { o.DRS.SwapBuffers = -1 },
+			field:  "DRS",
+		},
+		{
+			name: "unknown architecture", arch: Arch(99),
+			mutate: func(o *Options) {},
+			field:  "Arch",
+		},
+		{
+			name: "negative parallelism", arch: ArchAila,
+			mutate: func(o *Options) { o.Parallelism = -1 },
+			field:  "Parallelism",
+		},
+		{
+			name: "absurd parallelism", arch: ArchAila,
+			mutate: func(o *Options) { o.Parallelism = MaxParallelism + 1 },
+			field:  "Parallelism",
+		},
+		{
+			name: "negative series cap", arch: ArchAila,
+			mutate: func(o *Options) { o.SeriesCap = -1 },
+			field:  "SeriesCap",
+		},
+		{
+			name: "epoch length below floor", arch: ArchAila,
+			mutate: func(o *Options) { o.Simt.EpochCycles = -4 },
+			field:  "Simt.EpochCycles",
+		},
+		{
+			name: "broken device config", arch: ArchAila,
+			mutate: func(o *Options) { o.Simt.NumSMX = 0 },
+			field:  "Simt",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := DefaultOptions()
+			tc.mutate(&opt)
+			err := opt.Validate(tc.arch)
+			if err == nil {
+				t.Fatalf("Validate accepted a %s configuration", tc.name)
+			}
+			oe, ok := AsOptionsError(err)
+			if !ok {
+				t.Fatalf("want *OptionsError, got %T: %v", err, err)
+			}
+			if oe.Field != tc.field {
+				t.Fatalf("field = %q, want %q (reason: %s)", oe.Field, tc.field, oe.Reason)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsDefaults: the paper configuration must pass for
+// every architecture.
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, arch := range []Arch{ArchAila, ArchDRS, ArchDMK, ArchTBC} {
+		if err := DefaultOptions().Validate(arch); err != nil {
+			t.Fatalf("defaults rejected for %s: %v", arch, err)
+		}
+	}
+}
+
+// TestRunRejectsBeforeBuilding: the validation fires inside Run itself,
+// so a malformed request never reaches device construction.
+func TestRunRejectsBeforeBuilding(t *testing.T) {
+	opt := DefaultOptions()
+	opt.AilaWarps = 0
+	rays := []geom.Ray{{}}
+	_, err := Run(ArchAila, rays, nil, opt)
+	if err == nil {
+		t.Fatal("Run accepted zero AilaWarps")
+	}
+	if _, ok := AsOptionsError(err); !ok {
+		t.Fatalf("want *OptionsError from Run, got %T: %v", err, err)
+	}
+}

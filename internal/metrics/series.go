@@ -35,6 +35,16 @@ type Series struct {
 	n       int
 	dropped int64
 	sealed  bool
+
+	// OnSample, when non-nil, is invoked after every Sample with the
+	// device cycle and the freshly captured row (column order matches
+	// Columns). It runs on the sampling goroutine — for the epoch-barrier
+	// engine that is the engine goroutine at a barrier, with every SMX
+	// worker parked — so the callback sees a consistent snapshot and must
+	// not block the barrier for long. The service layer uses it to feed
+	// live progress streams; the row slice is owned by the series and
+	// must be copied if retained.
+	OnSample func(cycle int64, row []int64)
 }
 
 // NewSeries creates a series with the given ring capacity.
@@ -72,6 +82,9 @@ func (s *Series) Sample(cycle int64) {
 	row := make([]int64, len(s.cols))
 	for i := range s.cols {
 		row[i] = s.cols[i].fn()
+	}
+	if s.OnSample != nil {
+		s.OnSample(cycle, row)
 	}
 	if s.n < s.cap {
 		s.cycles = append(s.cycles, cycle)

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	if se, ok := AsSpecError(err); ok {
+		body.Field = se.Field
+	}
+	writeJSON(w, code, body)
+}
+
+// submitResponse is the body of an async (202) submission and of the
+// deduped notice header path.
+type submitResponse struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Deduped bool   `json:"deduped"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs              submit a spec; ?wait=1 blocks for the result
+//	GET  /v1/jobs              list jobs in admission order
+//	GET  /v1/jobs/{id}         status
+//	GET  /v1/jobs/{id}/result  result artifact (or failure body)
+//	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /healthz              liveness + drain state
+//	GET  /metrics              canonical sorted-JSON metrics snapshot
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading body: %w", err))
+		return
+	}
+	spec, err := DecodeSpec(body)
+	if err != nil {
+		s.noteInvalid()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	j, deduped, err := s.Submit(spec, !wait)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: j.State(), Deduped: deduped})
+		return
+	}
+	// Blocking submission: hold a waiter reference so a disconnect of
+	// the last interested client cancels the run, then serve the
+	// terminal outcome.
+	j.addWaiter()
+	defer j.releaseWaiter()
+	select {
+	case <-j.Done():
+		s.writeOutcome(w, j)
+	case <-r.Context().Done():
+		// Client gone; releaseWaiter may cancel the job. Nothing can be
+		// written to a dead connection.
+	}
+}
+
+// writeOutcome serves a terminal job: the artifact bytes verbatim for
+// done (so every waiter and every later fetch sees identical bytes),
+// a failure body otherwise.
+func (s *Service) writeOutcome(w http.ResponseWriter, j *Job) {
+	artifact, errMsg := j.Artifact()
+	switch j.State() {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(artifact)
+	case StateCanceled:
+		writeJSON(w, http.StatusConflict, errorBody{Error: errMsg})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: errMsg})
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	statuses := make([]Status, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+// lookup resolves the {id} path segment, writing a 404 on a miss.
+func (s *Service) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %s", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if st := j.State(); !st.Terminal() {
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: st})
+		return
+	}
+	s.writeOutcome(w, j)
+}
+
+// handleEvents streams a job's progress as server-sent events: every
+// buffered event from sequence 0, then live events as they land, until
+// the terminal state event has been delivered (event: end closes the
+// stream). Watching is read-only — it takes no waiter reference, so
+// observing a job never keeps it alive or cancels it.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	var next int64
+	for {
+		events, changed, terminal := j.eventsSince(next)
+		for _, e := range events {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+			next = e.Seq + 1
+		}
+		flusher.Flush()
+		if terminal {
+			// eventsSince snapshots events and the terminal flag under
+			// one lock, and finish appends the terminal transition
+			// before flipping state — so terminal here means the whole
+			// stream has been delivered.
+			fmt.Fprintf(w, "event: end\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Metrics().MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(data, '\n'))
+}

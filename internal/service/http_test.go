@@ -1,0 +1,285 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postSpec(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+const specConfDRS = `{"kind":"run","scene":"conference","arch":"drs"}`
+
+// TestHTTPLifecycle drives the full API surface with a fast fake
+// runner: submit (async + dedup), status, result, list, health,
+// metrics.
+func TestHTTPLifecycle(t *testing.T) {
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		return []byte(`{"id":"` + spec.ID() + `"}` + "\n"), nil
+	}
+	s := New(Config{Workers: 1, Runner: runner})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, body := postSpec(t, srv.URL+"/v1/jobs", specConfDRS)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit body %s: %v", body, err)
+	}
+	if sub.Deduped {
+		t.Fatal("first submission marked deduped")
+	}
+
+	j, ok := s.Job(sub.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	<-j.Done()
+
+	// Waited resubmission of the same spec: dedup, artifact verbatim.
+	resp, waited := postSpec(t, srv.URL+"/v1/jobs?wait=1", specConfDRS)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait submit: %d %s", resp.StatusCode, waited)
+	}
+	artifact, _ := j.Artifact()
+	if !bytes.Equal(waited, artifact) {
+		t.Fatalf("waited body %q != artifact %q", waited, artifact)
+	}
+
+	get := func(path string, wantCode int) []byte {
+		t.Helper()
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		data, _ := io.ReadAll(r.Body)
+		if r.StatusCode != wantCode {
+			t.Fatalf("GET %s: %d %s (want %d)", path, r.StatusCode, data, wantCode)
+		}
+		return data
+	}
+
+	var st Status
+	if err := json.Unmarshal(get("/v1/jobs/"+sub.ID, 200), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.ResultBytes == 0 {
+		t.Fatalf("status %+v", st)
+	}
+	if got := get("/v1/jobs/"+sub.ID+"/result", 200); !bytes.Equal(got, artifact) {
+		t.Fatalf("result %q != artifact %q", got, artifact)
+	}
+	get("/v1/jobs/no-such-job", 404)
+
+	var list []Status
+	if err := json.Unmarshal(get("/v1/jobs", 200), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("list %+v", list)
+	}
+
+	health := get("/healthz", 200)
+	if !bytes.Contains(health, []byte("ok")) {
+		t.Fatalf("healthz %s", health)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(get("/metrics", 200), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["service/jobs_submitted"] != 1 || snap["service/jobs_deduped"] != 1 {
+		t.Fatalf("metrics %v", snap)
+	}
+
+	if r, body := postSpec(t, srv.URL+"/v1/jobs", `{"kind":"bogus"}`); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d %s", r.StatusCode, body)
+	}
+}
+
+// TestHTTPSSEProgress: the events stream carries queued -> running,
+// epoch progress from the runner, the terminal state, and the end
+// marker, in order.
+func TestHTTPSSEProgress(t *testing.T) {
+	release := make(chan struct{})
+	runner := func(ctx context.Context, spec *JobSpec, progress func(cycle, epochs int64)) ([]byte, error) {
+		progress(64, 1)
+		progress(128, 2)
+		<-release
+		return []byte("done-artifact\n"), nil
+	}
+	s := New(Config{Workers: 1, Runner: runner})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	_, body := postSpec(t, srv.URL+"/v1/jobs", specConfDRS)
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	var kinds []string
+	deadline := time.After(10 * time.Second)
+	released := false
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream ended early; saw %v", kinds)
+			}
+			if rest, found := strings.CutPrefix(line, "event: "); found {
+				kinds = append(kinds, rest)
+				if rest == "epoch" && !released {
+					released = true
+					close(release)
+				}
+				if rest == "end" {
+					want := []string{"state", "state", "epoch", "epoch", "state", "end"}
+					if fmt.Sprint(kinds) != fmt.Sprint(want) {
+						t.Fatalf("event kinds %v, want %v", kinds, want)
+					}
+					return
+				}
+			}
+		case <-deadline:
+			t.Fatalf("no end event; saw %v", kinds)
+		}
+	}
+}
+
+// TestHTTPClientDisconnectCancels: dropping the only ?wait=1 client of
+// a non-detached job cancels the run at the service layer.
+func TestHTTPClientDisconnectCancels(t *testing.T) {
+	entered := make(chan string, 1)
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		entered <- spec.ID()
+		<-ctx.Done() // only a cancellation ends this job
+		return nil, ctx.Err()
+	}
+	s := New(Config{Workers: 1, Runner: runner})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/v1/jobs?wait=1", strings.NewReader(specConfDRS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	result := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		result <- err
+	}()
+	id := <-entered // runner is live; the waiter is attached
+	cancel()        // client disconnects
+	<-result
+
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job survived its only client's disconnect")
+	}
+	if j.State() != StateCanceled {
+		t.Fatalf("state %s, want canceled", j.State())
+	}
+}
+
+// TestHTTPQueueFullAndDraining: the backpressure and drain rejections
+// surface as 429 and 503.
+func TestHTTPQueueFullAndDraining(t *testing.T) {
+	br := newBlockingRunner(4)
+	s := New(Config{Workers: 1, QueueDepth: 1, Runner: br.run})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var codes []int
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"kind":"run","scene":"conference","arch":"drs","bounce":%d}`, i+1)
+		resp, _ := postSpec(t, srv.URL+"/v1/jobs", body)
+		codes = append(codes, resp.StatusCode)
+		if i == 0 {
+			<-br.entered // park the worker before filling the queue
+		}
+	}
+	if codes[0] != 202 || codes[1] != 202 || codes[2] != http.StatusTooManyRequests {
+		t.Fatalf("codes %v, want [202 202 429]", codes)
+	}
+
+	close(br.release)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Drain(ctx)
+	}()
+	// Poll until the drain flag flips, then verify the HTTP rejection.
+	for i := 0; ; i++ {
+		if s.Draining() {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("service never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, _ := postSpec(t, srv.URL+"/v1/jobs", `{"kind":"run","scene":"fairy","arch":"aila"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: %d, want 503", resp.StatusCode)
+	}
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", r.StatusCode)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// State is a job's lifecycle position. The machine is linear with two
+// failure exits:
+//
+//	queued -> running -> done
+//	                  -> failed    (error, deadline, exhausted retries)
+//	                  -> canceled  (every waiting client disconnected,
+//	                                or the daemon force-drained)
+//
+// done, failed and canceled are terminal. A done job is immortal — its
+// artifact keeps serving resubmissions of the same spec; failed and
+// canceled jobs are replaced by a fresh attempt on resubmission.
+type State string
+
+// The five job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event types on a job's progress stream.
+const (
+	// EventState marks a state transition.
+	EventState = "state"
+	// EventEpoch is a live epoch-barrier progress sample from the
+	// engine (observed run jobs only).
+	EventEpoch = "epoch"
+	// EventRetry marks a failed attempt about to be retried.
+	EventRetry = "retry"
+)
+
+// Event is one entry on a job's progress stream, delivered over SSE by
+// GET /v1/jobs/{id}/events. Seq is dense and monotonic per job, so a
+// reader that reconnects can resume from the last sequence it saw.
+type Event struct {
+	Seq   int64  `json:"seq"`
+	Type  string `json:"type"`
+	State State  `json:"state,omitempty"`
+	// Cycle and Epochs carry epoch progress: the device cycle of the
+	// barrier and how many barriers the run has passed.
+	Cycle  int64 `json:"cycle,omitempty"`
+	Epochs int64 `json:"epochs,omitempty"`
+	// Attempt and Error annotate retry and failure events.
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Status is the JSON shape of GET /v1/jobs/{id}. It deliberately holds
+// no timestamps: a job's externally visible state is a pure function of
+// its spec and lifecycle position.
+type Status struct {
+	ID            string   `json:"id"`
+	State         State    `json:"state"`
+	Spec          *JobSpec `json:"spec"`
+	Attempts      int      `json:"attempts"`
+	Error         string   `json:"error,omitempty"`
+	Events        int      `json:"events"`
+	EventsDropped int64    `json:"events_dropped,omitempty"`
+	ResultBytes   int      `json:"result_bytes"`
+}
+
+// Job is one admitted execution: a spec, its content address, and the
+// lifecycle state the workers drive. All mutation happens under mu;
+// done closes exactly once at the terminal transition and changed is
+// swapped (close-and-replace) on every visible change so pollers and
+// SSE streams wake without locks being held across waits.
+type Job struct {
+	// ID is the content address: hex SHA-256 of the canonical spec.
+	ID string
+	// Spec is the normalized, validated spec this job executes.
+	Spec *JobSpec
+
+	// ctx is the job's cancellation scope, derived from the service
+	// base context at admission. cancel fires when every waiting client
+	// disconnects (non-detached jobs) or when a force-drain tears the
+	// service down; the engine observes it at its next epoch barrier.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	maxEvents int
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	artifact []byte
+	attempts int
+	events   []Event
+	dropped  int64
+	changed  chan struct{}
+	done     chan struct{}
+	waiters  int
+	detached bool
+}
+
+func newJob(base context.Context, id string, spec *JobSpec, detached bool, maxEvents int) *Job {
+	ctx, cancel := context.WithCancel(base)
+	j := &Job{
+		ID:        id,
+		Spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		maxEvents: maxEvents,
+		state:     StateQueued,
+		changed:   make(chan struct{}),
+		done:      make(chan struct{}),
+		detached:  detached,
+	}
+	j.events = append(j.events, Event{Seq: 0, Type: EventState, State: StateQueued})
+	return j
+}
+
+// notifyLocked wakes every watcher. Callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendLocked adds an event with the next sequence number, dropping
+// epoch events once the buffer is full (state transitions always land,
+// so the stream's terminal event is never lost). Callers hold j.mu.
+func (j *Job) appendLocked(e Event) {
+	if e.Type == EventEpoch && len(j.events) >= j.maxEvents {
+		j.dropped++
+		return
+	}
+	e.Seq = int64(len(j.events))
+	j.events = append(j.events, e)
+	j.notifyLocked()
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setRunning records the start of an execution attempt.
+func (j *Job) setRunning(attempt int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts = attempt
+	if j.state != StateRunning {
+		j.state = StateRunning
+		j.appendLocked(Event{Type: EventState, State: StateRunning, Attempt: attempt})
+	}
+}
+
+// emitEpoch publishes one epoch-barrier progress sample. It runs on the
+// engine goroutine at a barrier; the lock is uncontended unless a
+// client is concurrently reading the stream.
+func (j *Job) emitEpoch(cycle, epochs int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(Event{Type: EventEpoch, Cycle: cycle, Epochs: epochs})
+}
+
+// emitRetry publishes a retry notice for a failed attempt.
+func (j *Job) emitRetry(attempt int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(Event{Type: EventRetry, Attempt: attempt, Error: err.Error()})
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, artifact []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.artifact = artifact
+	j.errMsg = errMsg
+	j.appendLocked(Event{Type: EventState, State: state, Error: errMsg})
+	close(j.done)
+	j.cancel() // release the context's resources; the run is over
+}
+
+// Done returns a channel closed at the terminal transition.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Artifact returns the result bytes (StateDone only) and the error
+// message of a failed or canceled job.
+func (j *Job) Artifact() ([]byte, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.artifact, j.errMsg
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:            j.ID,
+		State:         j.state,
+		Spec:          j.Spec,
+		Attempts:      j.attempts,
+		Error:         j.errMsg,
+		Events:        len(j.events),
+		EventsDropped: j.dropped,
+		ResultBytes:   len(j.artifact),
+	}
+}
+
+// eventsSince returns a copy of the events with sequence >= seq, a
+// channel that closes on the next change, and whether the job is
+// terminal. SSE streams loop on it: drain, flush, then wait on the
+// channel (or the client's context).
+func (j *Job) eventsSince(seq int64) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if int(seq) < len(j.events) {
+		out = append(out, j.events[seq:]...)
+	}
+	return out, j.changed, j.state.Terminal()
+}
+
+// addWaiter registers a client blocked on this job's completion.
+func (j *Job) addWaiter() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.waiters++
+}
+
+// releaseWaiter drops one waiting client. When the last waiter of a
+// non-detached job disconnects before the job finishes, the job's
+// context is canceled: nobody is left to read the result, so the
+// engine aborts at its next epoch barrier instead of burning cycles.
+func (j *Job) releaseWaiter() {
+	j.mu.Lock()
+	j.waiters--
+	abandon := j.waiters == 0 && !j.detached && !j.state.Terminal()
+	j.mu.Unlock()
+	if abandon {
+		j.cancel()
+	}
+}
+
+// markDetached pins the job: it keeps running even with zero waiters.
+// Async submissions detach their job; a later async resubmission of a
+// spec first submitted with wait=1 detaches the existing job too.
+func (j *Job) markDetached() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.detached = true
+}

@@ -1,0 +1,393 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testSpec returns a distinct valid run spec per tag.
+func testSpec(t *testing.T, tag int) *JobSpec {
+	t.Helper()
+	spec, err := DecodeSpec([]byte(fmt.Sprintf(
+		`{"kind":"run","scene":"conference","arch":"drs","bounce":%d}`, 1+tag%8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag >= 8 {
+		spec.Tris = 4000 + tag // keep specs distinct beyond the bounce range
+	}
+	return spec
+}
+
+// blockingRunner returns a runner that parks until released (or ctx
+// ends) and counts its invocations.
+type blockingRunner struct {
+	calls   atomic.Int64
+	release chan struct{}
+	entered chan struct{} // one tick per invocation
+}
+
+func newBlockingRunner(buf int) *blockingRunner {
+	return &blockingRunner{
+		release: make(chan struct{}),
+		entered: make(chan struct{}, buf),
+	}
+}
+
+func (b *blockingRunner) run(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+	b.calls.Add(1)
+	b.entered <- struct{}{}
+	select {
+	case <-b.release:
+		return []byte(`{"id":"` + spec.ID() + `"}`), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func drainAll(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestQueueFullRejection: with one worker parked on a job and the
+// admission queue at capacity, the next distinct submission must be
+// rejected with the typed queue-full error, not blocked or dropped.
+func TestQueueFullRejection(t *testing.T) {
+	br := newBlockingRunner(4)
+	s := New(Config{Workers: 1, QueueDepth: 2, Runner: br.run})
+
+	if _, _, err := s.Submit(testSpec(t, 0), true); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	<-br.entered // worker is now parked inside job 0
+	for i := 1; i <= 2; i++ {
+		if _, _, err := s.Submit(testSpec(t, i), true); err != nil {
+			t.Fatalf("submit %d should queue: %v", i, err)
+		}
+	}
+	_, _, err := s.Submit(testSpec(t, 3), true)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if got, _ := s.Metrics().Get("service/jobs_rejected_queue_full"); got != 1 {
+		t.Fatalf("rejected_queue_full = %d, want 1", got)
+	}
+	close(br.release)
+	drainAll(t, s)
+}
+
+// TestDedupSingleflight: N concurrent submissions of one spec are one
+// execution — one runner call, one workload, identical artifact bytes
+// for every submitter.
+func TestDedupSingleflight(t *testing.T) {
+	br := newBlockingRunner(16)
+	s := New(Config{Workers: 2, QueueDepth: 16, Runner: br.run})
+	spec := testSpec(t, 0)
+
+	const n = 8
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j, _, err := s.Submit(testSpec(t, 0), true)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			jobs[i] = j
+		}()
+	}
+	wg.Wait()
+	<-br.entered
+	close(br.release)
+	drainAll(t, s)
+
+	var ref []byte
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("submitter %d got no job", i)
+		}
+		if j.ID != spec.ID() {
+			t.Fatalf("submitter %d got job %s, want %s", i, j.ID, spec.ID())
+		}
+		if j.State() != StateDone {
+			t.Fatalf("job state %s, want done", j.State())
+		}
+		artifact, _ := j.Artifact()
+		if i == 0 {
+			ref = artifact
+		} else if !bytes.Equal(artifact, ref) {
+			t.Fatalf("submitter %d saw different artifact bytes", i)
+		}
+	}
+	if calls := br.calls.Load(); calls != 1 {
+		t.Fatalf("runner ran %d times for %d submissions, want 1", calls, n)
+	}
+	if got, _ := s.Metrics().Get("service/jobs_deduped"); got != n-1 {
+		t.Fatalf("jobs_deduped = %d, want %d", got, n-1)
+	}
+	if got, _ := s.Metrics().Get("service/jobs_submitted"); got != 1 {
+		t.Fatalf("jobs_submitted = %d, want 1", got)
+	}
+}
+
+// TestDeadlineExpiry: a job whose spec deadline passes fails with a
+// deadline error; the worker survives to run the next job.
+func TestDeadlineExpiry(t *testing.T) {
+	br := newBlockingRunner(4)
+	s := New(Config{Workers: 1, QueueDepth: 4, Runner: br.run})
+	spec := testSpec(t, 0)
+	spec.TimeoutMS = 30
+
+	j, _, err := s.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not finish after its 30ms deadline")
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state %s, want failed", j.State())
+	}
+	if _, msg := j.Artifact(); !bytes.Contains([]byte(msg), []byte("deadline")) {
+		t.Fatalf("failure message %q does not name the deadline", msg)
+	}
+	close(br.release)
+	j2, _, err := s.Submit(testSpec(t, 1), true)
+	if err != nil {
+		t.Fatalf("submit after deadline failure: %v", err)
+	}
+	<-j2.Done()
+	if j2.State() != StateDone {
+		t.Fatalf("next job state %s, want done", j2.State())
+	}
+	drainAll(t, s)
+}
+
+// TestRetryTransient: transient failures retry with backoff up to
+// MaxAttempts; the third attempt succeeds.
+func TestRetryTransient(t *testing.T) {
+	var calls atomic.Int64
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		if calls.Add(1) < 3 {
+			return nil, MarkTransient(errors.New("flaky"))
+		}
+		return []byte("ok"), nil
+	}
+	s := New(Config{Workers: 1, MaxAttempts: 3, RetryBaseDelay: time.Millisecond, Runner: runner})
+	j, _, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != StateDone {
+		_, msg := j.Artifact()
+		t.Fatalf("state %s (%s), want done after retries", j.State(), msg)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("runner ran %d times, want 3", got)
+	}
+	if st := j.Status(); st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", st.Attempts)
+	}
+	drainAll(t, s)
+}
+
+// TestNonTransientDoesNotRetry: a deterministic failure fails the job
+// on the first attempt.
+func TestNonTransientDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		calls.Add(1)
+		return nil, errors.New("deterministic failure")
+	}
+	s := New(Config{Workers: 1, MaxAttempts: 3, RetryBaseDelay: time.Millisecond, Runner: runner})
+	j, _, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != StateFailed || calls.Load() != 1 {
+		t.Fatalf("state %s after %d calls, want failed after 1", j.State(), calls.Load())
+	}
+	drainAll(t, s)
+}
+
+// TestPanicRecovery: a panicking job fails itself — with the panic in
+// the error, no retry — and the daemon keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	var calls atomic.Int64
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			panic("kernel exploded")
+		}
+		return []byte("ok"), nil
+	}
+	s := New(Config{Workers: 1, MaxAttempts: 3, Runner: runner})
+	j, _, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != StateFailed {
+		t.Fatalf("state %s, want failed", j.State())
+	}
+	if _, msg := j.Artifact(); !bytes.Contains([]byte(msg), []byte("kernel exploded")) {
+		t.Fatalf("failure message %q does not carry the panic", msg)
+	}
+	if got, _ := s.Metrics().Get("service/panics_recovered"); got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+	j2, _, err := s.Submit(testSpec(t, 1), true)
+	if err != nil {
+		t.Fatalf("daemon did not survive the panic: %v", err)
+	}
+	<-j2.Done()
+	if j2.State() != StateDone {
+		t.Fatalf("post-panic job state %s, want done", j2.State())
+	}
+	drainAll(t, s)
+}
+
+// TestFailedJobReplacedOnResubmit: done jobs dedup forever, but a
+// failed job is replaced by a fresh execution.
+func TestFailedJobReplacedOnResubmit(t *testing.T) {
+	var calls atomic.Int64
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("first time fails")
+		}
+		return []byte("ok"), nil
+	}
+	s := New(Config{Workers: 1, Runner: runner})
+	j1, _, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Done()
+	if j1.State() != StateFailed {
+		t.Fatalf("first run state %s, want failed", j1.State())
+	}
+	j2, deduped, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || j2 == j1 {
+		t.Fatal("failed job was deduped instead of replaced")
+	}
+	<-j2.Done()
+	if j2.State() != StateDone {
+		t.Fatalf("replacement state %s, want done", j2.State())
+	}
+	j3, deduped, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || j3 != j2 {
+		t.Fatal("done job was not deduped")
+	}
+	drainAll(t, s)
+}
+
+// TestDrainOrdering: everything admitted before Drain completes; a
+// submission racing the drain gets the typed draining error; Drain
+// returns only after the pool is idle.
+func TestDrainOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var finished []string
+	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		mu.Lock()
+		finished = append(finished, spec.ID())
+		mu.Unlock()
+		return []byte("ok"), nil
+	}
+	s := New(Config{Workers: 2, QueueDepth: 16, Runner: runner})
+	const n = 6
+	jobs := make([]*Job, n)
+	for i := 0; i < n; i++ {
+		j, _, err := s.Submit(testSpec(t, i), true)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	drainAll(t, s)
+
+	for i, j := range jobs {
+		if j.State() != StateDone {
+			t.Fatalf("job %d state %s after drain, want done", i, j.State())
+		}
+	}
+	mu.Lock()
+	ran := len(finished)
+	mu.Unlock()
+	if ran != n {
+		t.Fatalf("drain returned with %d of %d jobs executed", ran, n)
+	}
+	if _, _, err := s.Submit(testSpec(t, n), true); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: want ErrDraining, got %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() false after drain")
+	}
+}
+
+// TestForcedDrainCancelsInFlight: when the drain deadline passes, the
+// stuck job's context is canceled, the worker comes home, and Drain
+// reports the forced shutdown.
+func TestForcedDrainCancelsInFlight(t *testing.T) {
+	br := newBlockingRunner(1) // never released: the job only ends via ctx
+	s := New(Config{Workers: 1, Runner: br.run})
+	j, _, err := s.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-br.entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("forced drain reported success")
+	}
+	<-j.Done()
+	if st := j.State(); st != StateCanceled {
+		t.Fatalf("state %s after forced drain, want canceled", st)
+	}
+}
+
+// TestWaiterDisconnectCancels: when the last waiter of a non-detached
+// job lets go, the job's context cancels and the run aborts.
+func TestWaiterDisconnectCancels(t *testing.T) {
+	br := newBlockingRunner(1)
+	s := New(Config{Workers: 1, Runner: br.run})
+	j, _, err := s.Submit(testSpec(t, 0), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.addWaiter()
+	<-br.entered
+	j.releaseWaiter()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not cancel after its last waiter left")
+	}
+	if j.State() != StateCanceled {
+		t.Fatalf("state %s, want canceled", j.State())
+	}
+	drainAll(t, s)
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDecodeSpecDefaults(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs"}`))
+	if err != nil {
+		t.Fatalf("DecodeSpec: %v", err)
+	}
+	if spec.Bounce != 1 || spec.Tris != 4000 || spec.Width != 160 || spec.Height != 120 || spec.SPP != 1 {
+		t.Fatalf("defaults not applied: %+v", spec)
+	}
+	if len(spec.ID()) != 64 {
+		t.Fatalf("ID %q is not a hex SHA-256", spec.ID())
+	}
+}
+
+// TestDecodeSpecNormalizationIsContentAddressed: explicit defaults and
+// omitted fields are the same job.
+func TestDecodeSpecNormalizationIsContentAddressed(t *testing.T) {
+	a, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeSpec([]byte(`{"arch":"drs","bounce":1,"scene":"conference","kind":"run","tris":4000,"width":160,"height":120,"spp":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Fatalf("equivalent specs hash differently:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("canonical encodings differ:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+// TestDecodeSpecTimeoutChangesID: the deadline is part of the content
+// address because it can change the observable outcome.
+func TestDecodeSpecTimeoutChangesID(t *testing.T) {
+	a, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs","timeout_ms":5000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("timeout_ms did not change the content address")
+	}
+}
+
+func TestDecodeSpecRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		field string // "" = any field
+	}{
+		{"empty object", `{}`, "kind"},
+		{"unknown kind", `{"kind":"nope"}`, "kind"},
+		{"unknown field", `{"kind":"run","scene":"conference","arch":"drs","frobnicate":1}`, "body"},
+		{"duplicate key", `{"kind":"run","kind":"run","scene":"conference","arch":"drs"}`, "kind"},
+		{"nested duplicate key ok at top", `{"kind":"run","scene":"conference","scene":"fairy","arch":"drs"}`, "scene"},
+		{"trailing garbage", `{"kind":"run","scene":"conference","arch":"drs"} {}`, "body"},
+		{"not an object", `[1,2,3]`, "body"},
+		{"float width", `{"kind":"run","scene":"conference","arch":"drs","width":64.5}`, "body"},
+		{"huge float width", `{"kind":"run","scene":"conference","arch":"drs","width":1e308}`, "body"},
+		{"infinity is invalid json", `{"kind":"run","scene":"conference","arch":"drs","width":Infinity}`, "body"},
+		{"nan is invalid json", `{"kind":"run","scene":"conference","arch":"drs","spp":NaN}`, "body"},
+		{"negative width", `{"kind":"run","scene":"conference","arch":"drs","width":-1}`, "width"},
+		{"absurd width", `{"kind":"run","scene":"conference","arch":"drs","width":1000000}`, "width"},
+		{"absurd sample budget", `{"kind":"run","scene":"conference","arch":"drs","width":4096,"height":4096,"spp":4}`, "spp"},
+		{"unknown scene", `{"kind":"run","scene":"atrium","arch":"drs"}`, "scene"},
+		{"unknown arch", `{"kind":"run","scene":"conference","arch":"rtx"}`, "arch"},
+		{"bounce out of range", `{"kind":"run","scene":"conference","arch":"drs","bounce":9}`, "bounce"},
+		{"arch on grid job", `{"kind":"fig10","arch":"drs"}`, "arch"},
+		{"bounce on grid job", `{"kind":"table2","bounce":2}`, "bounce"},
+		{"observe on grid job", `{"kind":"fig10","observe":true}`, "observe"},
+		{"negative tris", `{"kind":"fig10","tris":-5}`, "tris"},
+		{"absurd tris", `{"kind":"fig10","tris":2000001}`, "tris"},
+		{"negative timeout", `{"kind":"fig10","timeout_ms":-1}`, "timeout_ms"},
+		{"absurd timeout", `{"kind":"fig10","timeout_ms":3600001}`, "timeout_ms"},
+		{"absurd parallelism", `{"kind":"fig10","parallelism":5000}`, "parallelism"},
+		{"oversize body", `{"kind":"run","scene":"conference","arch":"drs","pad":"` + strings.Repeat("x", MaxSpecBytes) + `"}`, "body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			se, ok := AsSpecError(err)
+			if !ok {
+				t.Fatalf("want *SpecError, got %T: %v", err, err)
+			}
+			if tc.field != "" && se.Field != tc.field {
+				t.Fatalf("field = %q, want %q (%v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// FuzzJobSpec holds the strict decoder to its contract on arbitrary
+// input: no panics ever, and every accepted spec is normalized,
+// validates clean, and round-trips through its canonical encoding to
+// the same content address.
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		`{"kind":"run","scene":"conference","arch":"drs"}`,
+		`{"kind":"run","scene":"sponza","arch":"aila","bounce":3,"observe":true,"timeout_ms":60000}`,
+		`{"kind":"fig10","cmp_bounces":2,"bounces":3}`,
+		`{"kind":"table2","scene":"fairy","sweep_bounces":2}`,
+		`{"kind":"run","kind":"run"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","width":1e308}`,
+		`{"width":-1}`,
+		`[]`,
+		`{`,
+		``,
+		`{"kind":"run","scene":"conference","arch":"drs","spp":9999999}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := DecodeSpec([]byte(body))
+		if err != nil {
+			if spec != nil {
+				t.Fatal("non-nil spec alongside error")
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails revalidation: %v", err)
+		}
+		id := spec.ID()
+		if len(id) != 64 {
+			t.Fatalf("ID %q is not 64 hex chars", id)
+		}
+		again, err := DecodeSpec(spec.Canonical())
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-decode: %v\n%s", err, spec.Canonical())
+		}
+		if again.ID() != id {
+			t.Fatalf("content address unstable across round-trip: %s vs %s", id, again.ID())
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -46,8 +47,23 @@ type GPUResult struct {
 // workloads). The default EngineEpoch makes the run bit-reproducible;
 // see the Engine constants.
 func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
+	return RunGPUCtx(context.Background(), cfg, factory)
+}
+
+// RunGPUCtx is RunGPU with cooperative cancellation. The epoch-barrier
+// engine checks ctx at every barrier — once per EpochLen device cycles,
+// with all SMX workers parked — so a cancelled or expired context stops
+// the simulation within one epoch and returns ctx's error. Cancellation
+// never yields a partial result (the error return is the only output),
+// so it cannot perturb determinism: an uncancelled RunGPUCtx is exactly
+// RunGPU. The legacy free-running engine has no safe interruption point
+// and only observes ctx before launch.
+func RunGPUCtx(ctx context.Context, cfg Config, factory Factory) (*GPUResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("simt: run cancelled before launch: %w", err)
 	}
 	var shared memsys.SharedL2
 	var ordered *memsys.OrderedL2
@@ -88,7 +104,7 @@ func RunGPU(cfg Config, factory Factory) (*GPUResult, error) {
 		}
 	}
 	if ordered != nil {
-		if err := runEpochs(cfg, smxs, ordered, col); err != nil {
+		if err := runEpochs(ctx, cfg, smxs, ordered, col); err != nil {
 			return nil, err
 		}
 	} else if err := runFree(smxs); err != nil {
@@ -147,7 +163,7 @@ func runFree(smxs []*SMX) error {
 // columns (instruction counts, cache accesses) are exact through this
 // barrier. The sampling runs on the engine goroutine with every worker
 // parked, so it is single-threaded and bit-deterministic.
-func runEpochs(cfg Config, smxs []*SMX, l2 *memsys.OrderedL2, col *metrics.Collector) error {
+func runEpochs(ctx context.Context, cfg Config, smxs []*SMX, l2 *memsys.OrderedL2, col *metrics.Collector) error {
 	epoch := cfg.EpochLen()
 	n := len(smxs)
 	var depths []int64
@@ -179,6 +195,13 @@ func runEpochs(cfg Config, smxs []*SMX, l2 *memsys.OrderedL2, col *metrics.Colle
 	}()
 	var end int64
 	for {
+		// Cancellation point: the barrier, with every worker parked. The
+		// check costs one atomic load per epoch and the abort path
+		// returns an error instead of results, so it cannot affect what
+		// an uncancelled run computes.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("simt: run cancelled at device cycle %d: %w", end, err)
+		}
 		live := false
 		for _, s := range smxs {
 			if s.LiveWarps() > 0 {

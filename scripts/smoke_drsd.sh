@@ -1,0 +1,101 @@
+#!/bin/sh
+# End-to-end smoke test of the drsd job service (DESIGN.md §9):
+#
+#   1. build drsd + drsctl,
+#   2. start the daemon and wait for /healthz,
+#   3. fire 8 concurrent *identical* Figure-10 submissions through
+#      drsctl -wait,
+#   4. assert the dedup contract over real HTTP: exactly one workload
+#      build, 7 deduped submissions, and byte-identical result bodies
+#      for all 8 clients,
+#   5. SIGTERM the daemon and assert a clean drain (exit 0).
+#
+# Plain POSIX sh + grep; no jq. Exits nonzero on any violation.
+set -eu
+
+ADDR="127.0.0.1:${DRSD_PORT:-8321}"
+CLIENTS=8
+WORK=$(mktemp -d)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/drsd" ./cmd/drsd
+go build -o "$WORK/drsctl" ./cmd/drsctl
+
+echo "== start drsd on $ADDR"
+"$WORK/drsd" -addr "$ADDR" -workers 2 -queue 16 -drain 60s \
+    >"$WORK/drsd.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until "$WORK/drsctl" -addr "http://$ADDR" health >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "drsd never became healthy" >&2
+        cat "$WORK/drsd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== submit $CLIENTS concurrent identical fig10 jobs"
+n=0
+while [ "$n" -lt "$CLIENTS" ]; do
+    "$WORK/drsctl" -addr "http://$ADDR" submit -wait \
+        -kind fig10 -scene conference -tris 500 -w 48 -h 36 \
+        -bounces 2 -cmp-bounces 1 \
+        >"$WORK/body.$n" 2>"$WORK/err.$n" &
+    eval "CLIENT_$n=\$!"
+    n=$((n + 1))
+done
+n=0
+while [ "$n" -lt "$CLIENTS" ]; do
+    eval "pid=\$CLIENT_$n"
+    if ! wait "$pid"; then
+        echo "client $n failed:" >&2
+        cat "$WORK/err.$n" >&2
+        exit 1
+    fi
+    n=$((n + 1))
+done
+
+echo "== assert byte-identical result bodies"
+test -s "$WORK/body.0" || { echo "empty result body" >&2; exit 1; }
+n=1
+while [ "$n" -lt "$CLIENTS" ]; do
+    cmp "$WORK/body.0" "$WORK/body.$n" || {
+        echo "client $n received different bytes than client 0" >&2
+        exit 1
+    }
+    n=$((n + 1))
+done
+
+echo "== assert dedup metrics"
+"$WORK/drsctl" -addr "http://$ADDR" metrics >"$WORK/metrics.json"
+for want in \
+    '"service/workload_builds":1' \
+    '"service/jobs_submitted":1' \
+    '"service/jobs_deduped":7' \
+    '"service/jobs_completed":1' \
+    '"service/jobs_failed":0'; do
+    grep -q "$want" "$WORK/metrics.json" || {
+        echo "metrics missing $want:" >&2
+        cat "$WORK/metrics.json" >&2
+        exit 1
+    }
+done
+
+echo "== SIGTERM, assert clean drain"
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    echo "drsd exited nonzero on SIGTERM:" >&2
+    cat "$WORK/drsd.log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$WORK/drsd.log" || {
+    echo "drsd did not report a clean drain:" >&2
+    cat "$WORK/drsd.log" >&2
+    exit 1
+}
+
+echo "smoke_drsd: OK ($CLIENTS clients, 1 build, identical bytes, clean drain)"
