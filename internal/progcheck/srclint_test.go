@@ -438,3 +438,130 @@ func launchAll(n int) []int32 {
 		t.Fatalf("make([]T, n) without growth flagged: %v", f)
 	}
 }
+
+// Directive-parsing edge cases.
+
+func TestLintAllowMultipleChecksOneLine(t *testing.T) {
+	// One directive naming two checks suppresses both on the next line.
+	fs := lint(t, `package p
+import "time"
+func f() int64 {
+	m := make(map[int]int)
+	var t0 int64
+	//drslint:allow map-range wallclock -- seed helper: order-insensitive, stamps a log only
+	for range m { t0 = time.Now().UnixNano() }
+	return t0
+}
+`)
+	if f := findCheck(fs, CheckMapRange); f != nil {
+		t.Errorf("map-range not suppressed by multi-check allow: %v", f)
+	}
+	if f := findCheck(fs, CheckWallClock); f != nil {
+		t.Errorf("wallclock not suppressed by multi-check allow: %v", f)
+	}
+}
+
+func TestLintAllowTrailingOnStatementLine(t *testing.T) {
+	// The directive as a trailing comment on the flagged line itself.
+	fs := lint(t, `package p
+func f() int {
+	m := make(map[int]int)
+	n := 0
+	for range m { n++ } //drslint:allow map-range -- pure count, order-insensitive
+	return n
+}
+`)
+	if f := findCheck(fs, CheckMapRange); f != nil {
+		t.Errorf("trailing same-line allow not honored: %v", f)
+	}
+}
+
+func TestLintAllowReasonWithParenthetical(t *testing.T) {
+	// Free text after -- is ignored entirely, including further dashes.
+	fs := lint(t, `package p
+func f() int {
+	m := make(map[int]int)
+	n := 0
+	//drslint:allow map-range -- order-insensitive (see DESIGN -- static analysis)
+	for range m { n++ }
+	return n
+}
+`)
+	if f := findCheck(fs, CheckMapRange); f != nil {
+		t.Errorf("allow with parenthetical reason not honored: %v", f)
+	}
+}
+
+func TestLintAllowInBlockCommentInert(t *testing.T) {
+	// The grammar is line comments only: a /* */ block mentioning the
+	// directive must not suppress anything.
+	fs := lint(t, `package p
+func f() int {
+	m := make(map[int]int)
+	n := 0
+	/* //drslint:allow map-range -- not a real directive */
+	for range m { n++ }
+	return n
+}
+`)
+	if findCheck(fs, CheckMapRange) == nil {
+		t.Fatalf("block-comment pseudo-directive suppressed the finding: %v", fs)
+	}
+}
+
+func TestLintHotpathInBlockCommentInert(t *testing.T) {
+	fs := lint(t, `package p
+/* //drslint:hotpath */
+func f() map[int]int { return make(map[int]int) }
+`)
+	if f := findCheck(fs, CheckHotPathAlloc); f != nil {
+		t.Fatalf("block-comment hotpath tag enabled the check: %v", f)
+	}
+}
+
+// Function-granular hotpath directives (doc comment) and the extended
+// wall-clock surface.
+
+func TestLintHotpathFunctionGranular(t *testing.T) {
+	// A doc-comment directive marks only its function, not the file.
+	fs := lint(t, `package p
+
+// step is per-cycle.
+//
+//drslint:hotpath
+func step() map[int]int { return make(map[int]int) }
+
+func setup() map[int]int { return make(map[int]int) }
+`)
+	var lines []int
+	for _, f := range fs {
+		if f.Check == CheckHotPathAlloc {
+			lines = append(lines, f.Line)
+		}
+	}
+	if len(lines) != 1 || lines[0] != 6 {
+		t.Fatalf("want exactly one hotpath-alloc finding at line 6 (step only), got lines %v: %v", lines, fs)
+	}
+}
+
+func TestLintWallClockTimerSurface(t *testing.T) {
+	fs := lint(t, `package p
+import "time"
+func f(d time.Duration) {
+	_ = time.Since(time.Now())
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-time.Tick(d)
+}
+`)
+	var lines []int
+	for _, f := range fs {
+		if f.Check == CheckWallClock {
+			lines = append(lines, f.Line)
+		}
+	}
+	// time.Since, time.Now, time.NewTimer, time.Tick: 4 sites.
+	if len(lines) != 4 {
+		t.Fatalf("want 4 wallclock findings (Since, Now, NewTimer, Tick), got %v: %v", lines, fs)
+	}
+}

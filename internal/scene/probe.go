@@ -1,0 +1,34 @@
+package scene
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// ProbeRays generates a deterministic ray set spanning the scene
+// bounds: origins jittered across the box, directions on the unit
+// sphere. Seeded PCG — identical on every run and platform. This is
+// the shared probe workload used wherever a tool needs "representative
+// rays for this scene" without a full camera/path-trace setup (the
+// drslint kernel explorations drive every variant with it).
+func ProbeRays(s *Scene, n int) []geom.Ray {
+	r := rng.NewPCG32(0x5EED, 0xCAFE)
+	span := s.Bounds.Max.Sub(s.Bounds.Min)
+	ones := vec.New(1, 1, 1)
+	rays := make([]geom.Ray, n)
+	for i := range rays {
+		o := s.Bounds.Min.Add(span.Mul(randV3(r)))
+		d := randV3(r).Scale(2).Sub(ones)
+		for d.Len2() < 1e-4 {
+			d = randV3(r).Scale(2).Sub(ones)
+		}
+		rays[i] = geom.NewRay(o, d.Norm())
+	}
+	return rays
+}
+
+// randV3 draws a vector with each component uniform in [0, 1).
+func randV3(r *rng.PCG32) vec.V3 {
+	return vec.New(r.Float32(), r.Float32(), r.Float32())
+}

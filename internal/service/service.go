@@ -307,6 +307,7 @@ func (s *Service) runJob(j *Job) {
 		s.retries.Add(1)
 		j.emitRetry(attempt, err)
 		backoff := s.cfg.RetryBaseDelay << (attempt - 1)
+		//drslint:allow wallclock -- retry backoff paces re-execution only; job results are a pure function of the spec
 		t := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():

@@ -9,11 +9,6 @@ import (
 	"repro/internal/regfile"
 )
 
-// This file runs every simulated cycle; drslint flags allocation churn
-// (maps, fresh-slice append growth) in it. Reuse warp/SMX scratch.
-//
-//drslint:hotpath
-
 // SMX is one streaming multiprocessor: a set of resident warps driven
 // by greedy-then-oldest schedulers, a banked register file, and private
 // L1 caches over the shared L2. An SMX is single-goroutine; the GPU
@@ -98,6 +93,7 @@ func (s *SMX) LaunchAll(slotBase int32) {
 
 // LaunchMapped starts warp w at the entry block with an explicit
 // mapping (used by the DRS wiring, where warps map to rows).
+//drslint:hotpath
 func (s *SMX) LaunchMapped(warp int, slots []int32) {
 	s.warps[warp].Launch(s.kernel.Entry(), slots)
 	s.recountLive()
@@ -217,6 +213,7 @@ func (s *SMX) RunEpoch(end int64) error {
 // provisional (L2-hit) estimate to the full DRAM round trip; the
 // estimate always reaches past the barrier, so the correction is never
 // late.
+//drslint:hotpath
 func (s *SMX) ResolveEpoch() {
 	port := s.mem.Port()
 	if port == nil || port.Pending() == 0 {
@@ -263,6 +260,7 @@ func (s *SMX) RunFor(n int64) error {
 }
 
 // step advances the SMX by one cycle.
+//drslint:hotpath
 func (s *SMX) step() {
 	s.cycle++
 	s.rf.Advance(s.cycle)
@@ -695,6 +693,7 @@ func (s *SMX) LiveWarps() int { return s.liveWarp }
 // time plus `extraStall` cycles. Architecture hooks use this for
 // instruction overheads the kernel's block table does not contain
 // (DMK's micro-kernel spawn data dumping/loading).
+//drslint:hotpath
 func (s *SMX) InjectInstrs(warp *Warp, count, active int, tag Tag, extraStall int) {
 	if count <= 0 {
 		return
@@ -714,6 +713,7 @@ func (s *SMX) InjectInstrs(warp *Warp, count, active int, tag Tag, extraStall in
 
 // AddBarrierStall records warp-cycles spent parked at a compaction
 // barrier (TBC).
+//drslint:hotpath
 func (s *SMX) AddBarrierStall(cycles int64) {
 	if cycles > 0 {
 		s.stats.BarrierStallCycles += cycles
@@ -722,6 +722,7 @@ func (s *SMX) AddBarrierStall(cycles int64) {
 
 // AddSpawnConflict records cycles lost to spawn-memory contention
 // (DMK).
+//drslint:hotpath
 func (s *SMX) AddSpawnConflict(cycles int64) {
 	if cycles > 0 {
 		s.stats.SpawnConflictCycles += cycles

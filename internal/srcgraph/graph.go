@@ -1,0 +1,477 @@
+package srcgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/progcheck"
+)
+
+// funcNode is one function (or method) declared in the module, with
+// the call edges and hazard sites found in its body. Function literals
+// are attributed to their enclosing declaration: a hazard inside a
+// closure fires when the declaring function is reachable, which over-
+// rather than under-approximates where the closure may run.
+type funcNode struct {
+	id   string
+	pkg  *Package
+	decl *ast.FuncDecl
+	file *ast.File
+
+	// callees holds resolved outgoing edges, by function id. Interface
+	// calls are expanded by class-hierarchy analysis in BuildGraph;
+	// calls through plain function values are unresolvable and absent.
+	callees map[string]bool
+
+	// hazards are the determinism-hazard sites in the body, pending the
+	// reachability verdict.
+	hazards []hazard
+
+	// hotRoot/detRoot mark the function as a propagation root; rootWhy
+	// says which rule made it one (for diagnostics).
+	hotRoot bool
+	detRoot bool
+	rootWhy string
+
+	// allow holds function-wide suppressions from //drslint:allow
+	// directives in the doc comment.
+	allow map[string]bool
+}
+
+// hazard is one potential finding, held until reachability decides
+// whether it fires.
+type hazard struct {
+	pos   token.Pos
+	check string
+	msg   string
+}
+
+// ifaceCall records an unresolved interface method call for the CHA
+// expansion: every module type implementing iface contributes its
+// method named name as a callee of from.
+type ifaceCall struct {
+	from  *funcNode
+	iface *types.Interface
+	name  string
+}
+
+// Graph is the static call graph over a loaded program.
+type Graph struct {
+	prog  *Program
+	nodes map[string]*funcNode
+	order []string // node ids, sorted for deterministic iteration
+}
+
+// detRootRule matches built-in determinism roots: the engine entry
+// points and the harness Run* API. Everything these reach must be a
+// pure function of its inputs — that is the bit-reproducibility
+// contract drsd's content-addressed dedup depends on.
+type detRootRule struct {
+	pkgSuffix    string // import path suffix, e.g. "internal/simt"
+	namePrefix   string // function name prefix ("RunGPU" matches RunGPUCtx too)
+	exportedOnly bool
+	why          string
+}
+
+var detRootRules = []detRootRule{
+	{"internal/simt", "RunGPU", true, "engine entry point"},
+	{"internal/harness", "Run", true, "harness entry point"},
+}
+
+// BuildGraph constructs the call graph: one node per declared function
+// with a body, direct edges for static calls and references, and
+// class-hierarchy edges for interface method calls.
+func BuildGraph(prog *Program) *Graph {
+	g := &Graph{prog: prog, nodes: make(map[string]*funcNode)}
+	var ifaceCalls []ifaceCall
+
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			fileHot := fileTaggedHotpath(file)
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{
+					id:      funcID(obj),
+					pkg:     pkg,
+					decl:    decl,
+					file:    file,
+					callees: make(map[string]bool),
+					allow:   make(map[string]bool),
+				}
+				applyDirectives(n, decl.Doc)
+				if fileHot && !n.hotRoot {
+					n.hotRoot = true
+					n.rootWhy = "file-level " + progcheck.HotpathDirective + " tag"
+				}
+				for _, r := range detRootRules {
+					if !strings.HasSuffix(pkg.Path, r.pkgSuffix) {
+						continue
+					}
+					if !strings.HasPrefix(obj.Name(), r.namePrefix) {
+						continue
+					}
+					if r.exportedOnly && !obj.Exported() {
+						continue
+					}
+					if decl.Recv != nil {
+						continue // the rules name package-level entry points
+					}
+					n.detRoot = true
+					if n.rootWhy == "" {
+						n.rootWhy = r.why
+					}
+				}
+				ifaceCalls = append(ifaceCalls, collectBody(n)...)
+				g.nodes[n.id] = n
+			}
+		}
+	}
+
+	g.expandInterfaceCalls(ifaceCalls)
+
+	g.order = make([]string, 0, len(g.nodes))
+	//drslint:allow map-range -- collected ids are sorted before use
+	for id := range g.nodes {
+		g.order = append(g.order, id)
+	}
+	sort.Strings(g.order)
+	return g
+}
+
+// funcID renders a stable, fully qualified function identity that is
+// identical whether the *types.Func came from source type-checking or
+// from imported export data: "pkgpath.Func" or "pkgpath.(*Recv).Method".
+func funcID(fn *types.Func) string {
+	if orig := fn.Origin(); orig != nil {
+		fn = orig
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, pok := t.(*types.Pointer); pok {
+			t = p.Elem()
+			star = "*"
+		}
+		if named, nok := t.(*types.Named); nok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + ".(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.FullName()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// applyDirectives reads //drslint:hotpath and //drslint:allow from a
+// function's doc comment. A doc-comment allow suppresses the named
+// checks for the entire function body.
+func applyDirectives(n *funcNode, doc *ast.CommentGroup) {
+	if doc == nil {
+		return
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		if text == progcheck.HotpathDirective || strings.HasPrefix(text, progcheck.HotpathDirective+" ") {
+			n.hotRoot = true
+			n.rootWhy = progcheck.HotpathDirective + " directive"
+		}
+		if strings.HasPrefix(text, progcheck.AllowDirective) {
+			rest := strings.TrimPrefix(text, progcheck.AllowDirective)
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			for _, name := range strings.Fields(rest) {
+				n.allow[name] = true
+			}
+		}
+	}
+}
+
+// fileTaggedHotpath reports whether the file carries a file-level
+// //drslint:hotpath tag: the directive in any comment that is not a
+// function's doc comment (those are function-granular roots instead).
+func fileTaggedHotpath(f *ast.File) bool {
+	funcDocs := make(map[*ast.CommentGroup]bool)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			funcDocs[fd.Doc] = true
+		}
+	}
+	for _, cg := range f.Comments {
+		if funcDocs[cg] {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == progcheck.HotpathDirective || strings.HasPrefix(c.Text, progcheck.HotpathDirective+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expandInterfaceCalls resolves recorded interface method calls by
+// class-hierarchy analysis: an edge to M on every module-declared named
+// type whose (pointer) method set implements the called interface.
+func (g *Graph) expandInterfaceCalls(calls []ifaceCall) {
+	if len(calls) == 0 {
+		return
+	}
+	var named []*types.Named
+	for _, pkg := range g.prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				named = append(named, n)
+			}
+		}
+	}
+	for _, call := range calls {
+		for _, n := range named {
+			ptr := types.NewPointer(n)
+			if !types.Implements(n, call.iface) && !types.Implements(ptr, call.iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, n.Obj().Pkg(), call.name)
+			if m, ok := obj.(*types.Func); ok {
+				call.from.callees[funcID(m)] = true
+			}
+		}
+	}
+}
+
+// collectBody walks one function body, resolving every referenced
+// function into a call edge (a reference that is not a direct call —
+// a method value handed to a scheduler, say — may still be invoked
+// from here, so it counts as an edge) and recording hazard sites.
+// Interface method references are returned for CHA expansion.
+func collectBody(n *funcNode) []ifaceCall {
+	info := n.pkg.Info
+	var ifaceCalls []ifaceCall
+
+	// freshSlices tracks locals bound to freshly allocated slices, for
+	// the append-growth variant of hotpath-alloc (same tracking as the
+	// syntactic lint, per whole declaration).
+	freshSlices := make(map[string]bool)
+
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch t := node.(type) {
+		case *ast.Ident:
+			fn, ok := info.Uses[t].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && sig.Recv() != nil {
+				if iface, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+					ifaceCalls = append(ifaceCalls, ifaceCall{from: n, iface: iface, name: fn.Name()})
+					return true
+				}
+			}
+			n.callees[funcID(fn)] = true
+			n.noteAmbientFunc(t, fn)
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[t.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					n.addHazard(t.For, CheckMapRange,
+						"range over map %s iterates in randomized order; state fed from it diverges run to run (sort the keys, add a deterministic tie-break, or suppress with %q)",
+						types.ExprString(t.X), strings.TrimSpace(progcheck.AllowDirective)+" map-range -- <why it is order-insensitive>")
+				}
+			}
+		case *ast.AssignStmt:
+			if t.Tok == token.DEFINE {
+				for i, lhs := range t.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(t.Rhs) {
+						continue
+					}
+					if exprMakesFreshSlice(info, t.Rhs[i]) {
+						freshSlices[id.Name] = true
+					} else {
+						delete(freshSlices, id.Name)
+					}
+				}
+			}
+		case *ast.GenDecl:
+			if t.Tok == token.VAR {
+				for _, spec := range t.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil && len(vs.Values) == 0 {
+						if at, ok := vs.Type.(*ast.ArrayType); ok && at.Len == nil {
+							for _, name := range vs.Names {
+								freshSlices[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[t]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					n.addHazard(t.Pos(), CheckHotPathAlloc,
+						"map literal allocates on the per-cycle path; use reusable scratch arrays (cf. simt.Warp's uniqBuf/maskBuf) or suppress with %q", hotSuppressHint)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := t.Fun.(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch b.Name() {
+					case "make":
+						if len(t.Args) > 0 {
+							if tv, ok := info.Types[t.Args[0]]; ok {
+								if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+									n.addHazard(t.Pos(), CheckHotPathAlloc,
+										"make(map) allocates on the per-cycle path; use reusable scratch arrays (cf. simt.Warp's uniqBuf/maskBuf) or suppress with %q", hotSuppressHint)
+								}
+							}
+						}
+					case "append":
+						if len(t.Args) > 0 {
+							if base, ok := t.Args[0].(*ast.Ident); ok && freshSlices[base.Name] {
+								n.addHazard(t.Pos(), CheckHotPathAlloc,
+									"append grows %q, a slice freshly allocated in this function, on the per-cycle path; reuse a pooled buffer (x := s.buf[:0] ... s.buf = x) or suppress with %q",
+									base.Name, hotSuppressHint)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ifaceCalls
+}
+
+var hotSuppressHint = strings.TrimSpace(progcheck.AllowDirective) + " hotpath-alloc -- <why this allocation is off the per-cycle path>"
+
+// noteAmbientFunc records the hazards that live in the callee itself:
+// wall-clock reads and the process-global RNG. These fire at the
+// reference site (the standard library is not scanned), whether the
+// function is called or merely captured.
+func (n *funcNode) noteAmbientFunc(at *ast.Ident, fn *types.Func) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return // methods (e.g. Time.Sub) are not the ambient package API
+	}
+	switch pkg.Path() {
+	case "time":
+		if progcheck.WallClockFuncs[fn.Name()] {
+			n.addHazard(at.Pos(), CheckWallClock,
+				"time.%s reads or schedules against the wall clock; code on a determinism path must be a pure function of its inputs", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if progcheck.GlobalRandFuncs[fn.Name()] {
+			n.addHazard(at.Pos(), CheckGlobalRand,
+				"%s.%s uses the process-global RNG; use a seeded generator (internal/rng) instead", pkg.Name(), fn.Name())
+		}
+	}
+}
+
+func (n *funcNode) addHazard(pos token.Pos, check, format string, args ...any) {
+	n.hazards = append(n.hazards, hazard{pos: pos, check: check, msg: sprintf(format, args...)})
+}
+
+// exprMakesFreshSlice reports whether an expression allocates a new
+// slice: make([]T, ...) or a slice literal. Type-aware version of the
+// syntactic lint's helper.
+func exprMakesFreshSlice(info *types.Info, e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		id, ok := t.Fun.(*ast.Ident)
+		if !ok || len(t.Args) == 0 {
+			return false
+		}
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+			return false
+		}
+		if tv, ok := info.Types[t.Args[0]]; ok {
+			_, isSlice := tv.Type.Underlying().(*types.Slice)
+			return isSlice
+		}
+	case *ast.CompositeLit:
+		if tv, ok := info.Types[t]; ok {
+			_, isSlice := tv.Type.Underlying().(*types.Slice)
+			return isSlice
+		}
+	}
+	return false
+}
+
+// reach is the BFS result for one fact: for every reached function,
+// the edge it was discovered through, so findings can print a witness
+// chain back to the root.
+type reach map[string]string // node id -> parent id ("" for roots)
+
+// propagate runs a deterministic multi-source BFS from the roots
+// selected by isRoot.
+func (g *Graph) propagate(isRoot func(*funcNode) bool) reach {
+	r := make(reach)
+	var frontier []string
+	for _, id := range g.order {
+		if isRoot(g.nodes[id]) {
+			r[id] = ""
+			frontier = append(frontier, id)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			n := g.nodes[id]
+			callees := make([]string, 0, len(n.callees))
+			//drslint:allow map-range -- collected ids are sorted before use
+			for c := range n.callees {
+				callees = append(callees, c)
+			}
+			sort.Strings(callees)
+			for _, c := range callees {
+				if _, seen := r[c]; seen {
+					continue
+				}
+				if _, ok := g.nodes[c]; !ok {
+					continue // callee outside the module
+				}
+				r[c] = id
+				next = append(next, c)
+			}
+		}
+		frontier = next
+	}
+	return r
+}
+
+// chain reconstructs the witness path from the root down to id.
+func (r reach) chain(id string) []string {
+	var rev []string
+	for cur := id; ; {
+		rev = append(rev, cur)
+		parent, ok := r[cur]
+		if !ok || parent == "" {
+			break
+		}
+		cur = parent
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package srcgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+
+	"repro/internal/progcheck"
+)
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// CheckHazards builds the call graph and reports every determinism
+// hazard that is reachable from a root:
+//
+//   - map-range, wallclock and global-rand fire in any function
+//     reachable from a determinism root (engine entry points, harness
+//     Run* API, and every hot function — per-cycle code is on the
+//     determinism path by construction);
+//   - hotpath-alloc fires in any function reachable from a
+//     //drslint:hotpath root.
+//
+// Line-level //drslint:allow suppressions use the same grammar as the
+// syntactic lint; a //drslint:allow in a function's doc comment
+// suppresses the named checks for the whole function.
+func CheckHazards(prog *Program) []Finding {
+	g := BuildGraph(prog)
+	return g.findings()
+}
+
+// detKind reports whether a check propagates from determinism roots
+// (as opposed to hot roots only).
+func detKind(check string) bool { return check != CheckHotPathAlloc }
+
+func (g *Graph) findings() []Finding {
+	hot := g.propagate(func(n *funcNode) bool { return n.hotRoot })
+	// Hot code runs every simulated cycle inside the engine: it is on
+	// the determinism path whether or not an engine entry point
+	// reaches it in the static graph.
+	det := g.propagate(func(n *funcNode) bool { return n.detRoot || n.hotRoot })
+
+	// Line-level suppressions, collected lazily per file.
+	allowCache := make(map[*ast.File]map[int]map[progcheck.SrcCheck]bool)
+	allows := func(f *ast.File) map[int]map[progcheck.SrcCheck]bool {
+		m, ok := allowCache[f]
+		if !ok {
+			m = progcheck.AllowsByLine(f, g.prog.Fset)
+			allowCache[f] = m
+		}
+		return m
+	}
+
+	var out []Finding
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if len(n.hazards) == 0 {
+			continue
+		}
+		var via reach
+		sort.Slice(n.hazards, func(i, j int) bool { return n.hazards[i].pos < n.hazards[j].pos })
+		for _, h := range n.hazards {
+			if detKind(h.check) {
+				via = det
+			} else {
+				via = hot
+			}
+			if _, reached := via[id]; !reached {
+				continue
+			}
+			if n.allow[h.check] {
+				continue
+			}
+			file, line := g.prog.Rel(h.pos)
+			if la := allows(n.file); la[line][progcheck.SrcCheck(h.check)] || la[line-1][progcheck.SrcCheck(h.check)] {
+				continue
+			}
+			chain := via.chain(id)
+			out = append(out, Finding{
+				File:  file,
+				Line:  line,
+				Check: h.check,
+				Func:  id,
+				Root:  chain[0],
+				Chain: chain,
+				Msg:   h.msg,
+			})
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// Roots returns the ids of the graph's determinism and hot roots with
+// the rule that made each one a root — drslint -json exposes this so a
+// loader regression that silently drops every root is visible.
+func (g *Graph) Roots() (det, hot map[string]string) {
+	det = make(map[string]string)
+	hot = make(map[string]string)
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.hotRoot {
+			hot[id] = n.rootWhy
+		}
+		if n.detRoot {
+			det[id] = n.rootWhy
+		}
+	}
+	return det, hot
+}
+
+// NumFuncs reports the number of functions in the graph (loader
+// health: zero or near-zero means the pass silently checked nothing).
+func (g *Graph) NumFuncs() int { return len(g.nodes) }

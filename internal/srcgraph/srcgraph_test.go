@@ -1,0 +1,208 @@
+package srcgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/progcheck"
+)
+
+// The specimen module under testdata is a self-contained miniature of
+// the repo: an engine package whose import path matches the det-root
+// rules, a content-addressed spec with deliberate drift, and a metrics
+// registry with one orphaned struct. Every analyzer must fire on it —
+// these are the negative tests CI's zero-findings budget leans on: a
+// loader regression that silently empties the call graph fails here,
+// not as a suspiciously green lint run.
+
+const specimenDir = "testdata/specimen"
+
+func loadSpecimen(t *testing.T) *Program {
+	t.Helper()
+	prog, err := Load(specimenDir)
+	if err != nil {
+		t.Fatalf("load specimen: %v", err)
+	}
+	return prog
+}
+
+func byCheck(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestInterproceduralHazards is the acceptance demonstration: a
+// map-range and a hot-path alloc in untagged helpers two calls below
+// their roots are flagged by the graph pass, each with its witness
+// chain.
+func TestInterproceduralHazards(t *testing.T) {
+	prog := loadSpecimen(t)
+	fs := CheckHazards(prog)
+
+	mr := byCheck(fs, CheckMapRange)
+	if len(mr) != 1 {
+		t.Fatalf("want exactly 1 map-range finding, got %d: %v", len(mr), mr)
+	}
+	wantChain := []string{
+		"specimen/internal/simt.RunGPU",
+		"specimen/internal/simt.helperA",
+		"specimen/internal/simt.helperB",
+	}
+	if got := mr[0].Chain; strings.Join(got, " ") != strings.Join(wantChain, " ") {
+		t.Errorf("map-range chain = %v, want %v", got, wantChain)
+	}
+	if mr[0].File != "internal/simt/engine.go" {
+		t.Errorf("map-range file = %q", mr[0].File)
+	}
+
+	ha := byCheck(fs, CheckHotPathAlloc)
+	if len(ha) != 1 {
+		t.Fatalf("want exactly 1 hotpath-alloc finding, got %d: %v", len(ha), ha)
+	}
+	wantChain = []string{
+		"specimen/internal/simt.stepOnce",
+		"specimen/internal/simt.mid",
+		"specimen/internal/simt.leafAlloc",
+	}
+	if got := ha[0].Chain; strings.Join(got, " ") != strings.Join(wantChain, " ") {
+		t.Errorf("hotpath-alloc chain = %v, want %v", got, wantChain)
+	}
+
+	if wc := byCheck(fs, CheckWallClock); len(wc) != 1 || wc[0].Func != "specimen/internal/simt.stampNow" {
+		t.Errorf("want 1 wallclock finding in stampNow, got %v", wc)
+	}
+	if gr := byCheck(fs, CheckGlobalRand); len(gr) != 1 || gr[0].Func != "specimen/internal/simt.jitter" {
+		t.Errorf("want 1 global-rand finding in jitter, got %v", gr)
+	}
+
+	// The line-allowed range in sortedTotal must be suppressed even
+	// though sortedTotal is reachable from the root.
+	for _, f := range fs {
+		if f.Func == "specimen/internal/simt.sortedTotal" {
+			t.Errorf("suppressed range in sortedTotal still reported: %v", f)
+		}
+	}
+}
+
+// TestLegacyPassMissesUntaggedHelpers proves the other half of the
+// acceptance demonstration: the file-granular syntactic lint does not
+// see either seeded site (the map arrives as a parameter, and no
+// file-level hotpath tag exists), so the graph pass is the only line
+// of defense.
+func TestLegacyPassMissesUntaggedHelpers(t *testing.T) {
+	fs, err := progcheck.LintDirs(specimenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Check == progcheck.CheckMapRange {
+			t.Errorf("legacy pass unexpectedly flags map-range (the demonstration requires it to miss): %v", f)
+		}
+		if f.Check == progcheck.CheckHotPathAlloc {
+			t.Errorf("legacy pass unexpectedly flags hotpath-alloc (the demonstration requires it to miss): %v", f)
+		}
+	}
+}
+
+func TestSpecimenRoots(t *testing.T) {
+	prog := loadSpecimen(t)
+	g := BuildGraph(prog)
+	det, hot := g.Roots()
+	if why := det["specimen/internal/simt.RunGPU"]; why == "" {
+		t.Errorf("RunGPU not a det root; det roots: %v", det)
+	}
+	if why := hot["specimen/internal/simt.stepOnce"]; !strings.Contains(why, "directive") {
+		t.Errorf("stepOnce not a directive hot root; hot roots: %v", hot)
+	}
+	// The doc-comment directive must not promote the whole file.
+	if _, ok := hot["specimen/internal/simt.helperA"]; ok {
+		t.Error("helperA became a hot root from a doc-comment directive on stepOnce")
+	}
+}
+
+func TestSpecHashDrift(t *testing.T) {
+	prog := loadSpecimen(t)
+	fs := CheckSpecHashDrift(prog)
+	if len(fs) != 2 {
+		t.Fatalf("want exactly 2 spec-hash findings, got %d: %v", len(fs), fs)
+	}
+	var jobSpec, fullSpec []Finding
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "JobSpec") {
+			jobSpec = append(jobSpec, f)
+		}
+		if strings.Contains(f.Msg, "FullSpec") {
+			fullSpec = append(fullSpec, f)
+		}
+	}
+	if len(jobSpec) != 1 || !strings.Contains(jobSpec[0].Msg, "Debug") {
+		t.Errorf("want exactly 1 JobSpec finding naming Debug, got %v", jobSpec)
+	}
+	if len(fullSpec) != 1 || !strings.Contains(fullSpec[0].Msg, "Extra") {
+		t.Errorf("want exactly 1 FullSpec finding naming Extra, got %v", fullSpec)
+	}
+}
+
+func TestMetricsRegistration(t *testing.T) {
+	prog := loadSpecimen(t)
+	fs := CheckMetricsRegistration(prog)
+	if len(fs) != 1 {
+		t.Fatalf("want exactly 1 metrics-registration finding, got %d: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "specimen/internal/stats.Orphan") {
+		t.Errorf("finding does not name the orphan: %v", fs[0])
+	}
+}
+
+// TestRealTreeClean locks the tentpole's green state: the shipped
+// sources carry no unsuppressed graph findings, and the loader health
+// counters prove the pass actually analyzed the module.
+func TestRealTreeClean(t *testing.T) {
+	prog, err := Load("../..", "./internal/...", "./cmd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(prog)
+	if n := g.NumFuncs(); n < 500 {
+		t.Errorf("suspiciously small call graph: %d funcs", n)
+	}
+	det, hot := g.Roots()
+	if len(det) < 4 {
+		t.Errorf("want >= 4 det roots (engine + harness entry points), got %v", det)
+	}
+	if len(hot) < 10 {
+		t.Errorf("want >= 10 hot roots (per-cycle directives), got %v", hot)
+	}
+	if fs := Analyze(prog); len(fs) != 0 {
+		t.Errorf("real tree has graph findings:\n%v", fs)
+	}
+}
+
+// TestHotConeCoversPerCycleCallees pins the reason function-granular
+// tags could replace the file tags: propagation covers the tagged
+// functions' whole callee cones, including the memory hierarchy.
+func TestHotConeCoversPerCycleCallees(t *testing.T) {
+	prog, err := Load("../..", "./internal/...", "./cmd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(prog)
+	hot := g.propagate(func(n *funcNode) bool { return n.hotRoot })
+	for _, want := range []string{
+		"repro/internal/simt.(*SMX).issueMem",
+		"repro/internal/simt.(*SMX).resolve",
+		"repro/internal/simt.(*Warp).retireLanes",
+		"repro/internal/memsys.(*SMXMem).WarpAccessEx",
+		"repro/internal/memsys.(*cache).access",
+		"repro/internal/memsys.(*L2Port).Reset",
+	} {
+		if _, ok := hot[want]; !ok {
+			t.Errorf("%s not hot-reachable", want)
+		}
+	}
+}

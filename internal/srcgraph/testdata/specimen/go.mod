@@ -1,0 +1,3 @@
+module specimen
+
+go 1.24

@@ -5,6 +5,12 @@
 // report. That bug class already happened once (the DRS RaysMoved
 // counter was dropped by a hand-written merge in the harness), so each
 // Stats-owning package pins its Add with AddCovers in its tests.
+//
+// statcheck covers the dynamic half of the completeness story (Add
+// merges, exercised from tests). The static half — every `metrics:`
+// tag reached by a RegisterStruct call, every content-addressed spec
+// field reached by its Canonical encoder — lives in internal/srcgraph
+// and runs under `drslint -mode graph`.
 package statcheck
 
 import (
