@@ -12,6 +12,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kernels"
 	"repro/internal/render"
+	"repro/internal/reorder"
 	"repro/internal/scene"
 )
 
@@ -54,7 +55,6 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.Simt.NumSMX = *smx
 	opt.Simt.MaxCycles = 1 << 26
-	opt.DRS.BindThreshold = *bindT
 	fmt.Printf("scene=%s tris=%d bounce=%d rays=%d coherence=%.3f\n",
 		b, len(s.Tris), *bounce, len(rays), res.Traces.Bounce(*bounce).Coherence(32))
 	ideal := flag.Lookup("ideal") != nil
@@ -65,7 +65,10 @@ func main() {
 		ideal bool
 	}{{"aila", harness.ArchAila, false}, {"drs", harness.ArchDRS, false}, {"drs-i", harness.ArchDRS, true}} {
 		arch := run.arch
-		opt.DRS.Ideal = run.ideal
+		drsCfg := core.DefaultConfig()
+		drsCfg.BindThreshold = *bindT
+		drsCfg.Ideal = run.ideal
+		opt.PolicyOverrides = []reorder.Policy{core.NewPolicy(drsCfg)}
 		r, err := harness.Run(arch, rays, data, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v: %v\n", arch, err)

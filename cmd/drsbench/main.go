@@ -24,13 +24,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/scene"
 	"repro/internal/simt"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|all")
+		exp    = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|policies|all (all = the paper artifacts; policies runs only when named)")
 		tris   = flag.Int("tris", 20000, "triangle budget per scene (0 = paper full scale)")
 		width  = flag.Int("w", 320, "trace render width")
 		height = flag.Int("h", 240, "trace render height")
@@ -47,13 +48,21 @@ func main() {
 		repeat  = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
 		timeout = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = no limit); a timed-out run exits with code 3, distinct from divergence failures (1)")
 
+		policyFlag   = flag.String("policy", "", "reordering policy: restricts -exp policies to one policy, or selects the observed run's policy (see -list-policies)")
+		listPolicies = flag.Bool("list-policies", false, "print the registered reordering policies and exit")
+
 		statsJSON = flag.String("stats-json", "", "observed-run mode: write the full metrics registry dump (flat JSON) to this file")
 		traceOut  = flag.String("trace", "", "observed-run mode: write a Chrome trace (chrome://tracing / Perfetto) of per-SMX occupancy and stall phases to this file")
-		archFlag  = flag.String("arch", "drs", "architecture for the observed run: aila|drs|dmk|tbc")
+		archFlag  = flag.String("arch", "drs", "architecture for the observed run: aila|drs|dmk|tbc (superseded by -policy)")
 		bounce    = flag.Int("bounce", 2, "trace bounce whose rays the observed run simulates")
 		seriesCap = flag.Int("series-cap", 0, "epoch time-series ring capacity for the observed run (0 = default)")
 	)
 	flag.Parse()
+
+	if *listPolicies {
+		fmt.Print(experiments.PolicyCatalog())
+		return
+	}
 
 	p := experiments.DefaultParams()
 	if *paper {
@@ -122,6 +131,7 @@ func main() {
 		runObserved(ctx, p, observedSpec{
 			scene:     pickScene(scenes),
 			arch:      *archFlag,
+			policy:    *policyFlag,
 			bounce:    *bounce,
 			seriesCap: *seriesCap,
 			statsJSON: *statsJSON,
@@ -131,14 +141,21 @@ func main() {
 		return
 	}
 
-	sel := selection{exp: *exp, sweepB: *sweepB, cmpB: *cmpB, scenes: scenes}
+	if *policyFlag != "" {
+		if _, err := harness.Policies().New(*policyFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "drsbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	sel := selection{exp: *exp, sweepB: *sweepB, cmpB: *cmpB, scenes: scenes, policy: *policyFlag}
 	//drslint:allow wallclock -- wall time reports real CLI runtime, not simulated state
 	start := time.Now()
 
 	results, cache, err := sel.run(ctx, p)
 	exitOn(err)
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead policies all\n", *exp)
 		os.Exit(2)
 	}
 	for _, r := range results {
@@ -205,9 +222,19 @@ type selection struct {
 	sweepB int
 	cmpB   int
 	scenes []scene.Benchmark
+	policy string // restrict -exp policies to one policy ("" = all)
 }
 
-func (s selection) want(name string) bool { return s.exp == "all" || s.exp == name }
+// want reports whether the named experiment was selected. "all" covers
+// the paper artifacts only; the cross-policy comparison runs when named
+// explicitly, so -exp all keeps regenerating the committed results_*.txt
+// byte for byte.
+func (s selection) want(name string) bool {
+	if s.exp == "all" {
+		return name != "policies"
+	}
+	return s.exp == name
+}
 
 // run executes every selected experiment once, in a fixed order. One
 // workload cache is shared across the whole selection, so a suite run
@@ -247,6 +274,17 @@ func (s selection) run(ctx context.Context, p experiments.Params) ([]expResult, 
 			return nil, nil, err
 		}
 		out = append(out, expResult{"table2", cells, experiments.RenderTable2(cells, s.sweepB)})
+	}
+	if s.want("policies") {
+		var pols []string
+		if s.policy != "" {
+			pols = []string{s.policy}
+		}
+		cells, err := experiments.PoliciesFigureCtx(ctx, p, s.cmpB, s.scenes, pols)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, expResult{"policies", cells, experiments.RenderPolicies(cells, s.cmpB)})
 	}
 	if s.want("fig10") || s.want("fig11") {
 		cells, err := experiments.Figure10Ctx(ctx, p, s.cmpB, s.scenes)

@@ -17,6 +17,7 @@ import (
 type observedSpec struct {
 	scene     scene.Benchmark
 	arch      string
+	policy    string // non-empty: run this registry policy instead of arch
 	bounce    int
 	seriesCap int
 	statsJSON string
@@ -33,13 +34,15 @@ func pickScene(scenes []scene.Benchmark) scene.Benchmark {
 	return scene.ConferenceRoom
 }
 
-func parseArch(s string) (harness.Arch, error) {
-	for _, a := range []harness.Arch{harness.ArchAila, harness.ArchDRS, harness.ArchDMK, harness.ArchTBC} {
-		if a.String() == s {
-			return a, nil
-		}
+// policyName resolves what the observed run simulates: -policy wins,
+// otherwise the legacy -arch spelling (the four architecture names are
+// registered policies, so both route through the same registry and an
+// unknown name fails in exactly one place).
+func (s observedSpec) policyName() string {
+	if s.policy != "" {
+		return s.policy
 	}
-	return 0, fmt.Errorf("unknown arch %q; valid: aila drs dmk tbc", s)
+	return s.arch
 }
 
 // runObserved performs the instrumented run(s) and writes the requested
@@ -47,8 +50,10 @@ func parseArch(s string) (harness.Arch, error) {
 // byte-identical or the process exits 1 — the metrics dump is the
 // determinism fingerprint, not a float-rounded table.
 func runObserved(ctx context.Context, p experiments.Params, spec observedSpec) {
-	arch, err := parseArch(spec.arch)
-	exitOn(err)
+	name := spec.policyName()
+	if _, err := harness.Policies().New(name); err != nil {
+		exitOn(err)
+	}
 	p.Options.Observe = true
 	p.Options.SeriesCap = spec.seriesCap
 
@@ -59,11 +64,11 @@ func runObserved(ctx context.Context, p experiments.Params, spec observedSpec) {
 		exitOn(fmt.Errorf("scene %s bounce %d has no rays; lower -bounce", spec.scene, spec.bounce))
 	}
 	fmt.Fprintf(os.Stderr, "observed run: %s on %s bounce %d, %d rays\n",
-		arch, spec.scene, spec.bounce, len(rays))
+		name, spec.scene, spec.bounce, len(rays))
 
 	var refStats, refTrace []byte
 	for i := 1; i <= spec.repeat; i++ {
-		res, err := harness.RunCtx(ctx, arch, rays, w.Data, p.Options)
+		res, err := harness.RunNamedCtx(ctx, name, rays, w.Data, p.Options)
 		exitOn(err)
 		stats, err := json.Marshal(res.Metrics)
 		exitOn(err)

@@ -111,6 +111,7 @@ func (c client) submit(args []string) {
 		kind    = fs.String("kind", service.KindRun, "job kind: run|fig10|table2")
 		scen    = fs.String("scene", "conference", "benchmark scene (empty on grid jobs = all four)")
 		arch    = fs.String("arch", "drs", "architecture for run jobs: aila|drs|dmk|tbc")
+		policy  = fs.String("policy", "", "reordering policy for run jobs (any registered name; overrides -arch)")
 		bounce  = fs.Int("bounce", 1, "trace bounce for run jobs")
 		tris    = fs.Int("tris", 0, "triangle budget (0 = service default)")
 		width   = fs.Int("w", 0, "trace render width (0 = service default)")
@@ -145,6 +146,7 @@ func (c client) submit(args []string) {
 			Kind:             *kind,
 			Scene:            *scen,
 			Arch:             *arch,
+			Policy:           *policy,
 			Bounce:           *bounce,
 			Tris:             *tris,
 			Width:            *width,
@@ -158,18 +160,27 @@ func (c client) submit(args []string) {
 			Observe:          *observe,
 			TimeoutMS:        *timeout,
 		}
+		archSet, sceneSet := false, false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "arch":
+				archSet = true
+			case "scene":
+				sceneSet = true
+			}
+		})
+		if *policy != "" && !archSet {
+			// -policy names the reordering strategy directly; only an
+			// explicit -arch should conflict with it, not the default.
+			spec.Arch = ""
+		}
 		if *kind != service.KindRun {
 			// Grid jobs reject run-only fields; drop the run defaults
 			// (and the scene default, unless -scene was given
 			// explicitly — an empty scene means all four benchmarks).
 			spec.Arch = ""
+			spec.Policy = ""
 			spec.Bounce = 0
-			sceneSet := false
-			fs.Visit(func(f *flag.Flag) {
-				if f.Name == "scene" {
-					sceneSet = true
-				}
-			})
 			if !sceneSet {
 				spec.Scene = ""
 			}

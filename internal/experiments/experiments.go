@@ -162,6 +162,16 @@ func (w *Workload) simulateCtx(ctx context.Context, arch harness.Arch, bounce in
 	return harness.RunCtx(ctx, arch, rays, w.Data, p.Options)
 }
 
+// simulateNamedCtx runs one named reordering policy (resolved through
+// the harness registry) on one bounce stream.
+func (w *Workload) simulateNamedCtx(ctx context.Context, policy string, bounce int, p Params) (*harness.Result, error) {
+	rays := w.BounceRays(bounce, p)
+	if len(rays) == 0 {
+		return nil, fmt.Errorf("experiments: %s bounce %d has no rays", w.Benchmark, bounce)
+	}
+	return harness.RunNamedCtx(ctx, policy, rays, w.Data, p.Options)
+}
+
 // table renders rows of columns with a header as aligned text.
 func table(header []string, rows [][]string) string {
 	widths := make([]int, len(header))

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/reorder"
 	"repro/internal/scene"
+	"repro/internal/tbc"
 )
 
 // tinyParams keeps experiment tests fast: small scenes, low-res traces,
@@ -19,8 +21,11 @@ func tinyParams() Params {
 	p.Bounces = 3
 	p.Options.Simt.NumSMX = 2
 	p.Options.AilaWarps = 8
-	p.Options.DRS.WarpsOverride = 8
-	p.Options.TBC.WarpsPerBlock = 4
+	drsCfg := core.DefaultConfig()
+	drsCfg.WarpsOverride = 8
+	tbcCfg := tbc.DefaultConfig()
+	tbcCfg.WarpsPerBlock = 4
+	p.Options.PolicyOverrides = []reorder.Policy{core.NewPolicy(drsCfg), tbc.NewPolicy(tbcCfg)}
 	return p
 }
 
@@ -163,6 +168,55 @@ func TestOverheadNumbers(t *testing.T) {
 	for _, want := range []string{"744 B", "488 B", "~1.4 KB", "0.55%", "114.75 KB", "2.5 KB", "0.11%"} {
 		if !strings.Contains(txt, want) {
 			t.Errorf("overhead missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// TestPoliciesFigure: the cross-policy grid covers every policy with a
+// per-bounce row plus overall, the speedup denominator (noop) is
+// present, and the output is byte-identical across scheduler worker
+// counts — the same guarantee the paper figures carry.
+func TestPoliciesFigure(t *testing.T) {
+	p := tinyParams()
+	p.Bounces = 2
+	pols := []string{"noop", "ser", "drs"}
+	cells, err := PoliciesFigure(p, 2, []scene.Benchmark{scene.ConferenceRoom}, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 policies x (2 bounces + overall).
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(cells))
+	}
+	for _, c := range cells {
+		if c.Mrays <= 0 {
+			t.Errorf("%s B%d %s: nonpositive Mrays", c.Scene, c.Bounce, c.Policy)
+		}
+	}
+	txt := RenderPolicies(cells, 2)
+	for _, want := range []string{"noop", "ser", "drs", "x noop", "all", "1.00x"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("policies render missing %q:\n%s", want, txt)
+		}
+	}
+
+	p2 := p
+	p2.Options.Parallelism = 3
+	p2.Cache = NewWorkloadCache()
+	again, err := PoliciesFigure(p2, 2, []scene.Benchmark{scene.ConferenceRoom}, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderPolicies(again, 2) != txt {
+		t.Fatalf("policies figure not byte-identical across worker counts")
+	}
+}
+
+func TestPolicyCatalog(t *testing.T) {
+	txt := PolicyCatalog()
+	for _, name := range harness.Policies().Names() {
+		if !strings.Contains(txt, name) {
+			t.Errorf("catalog missing %q:\n%s", name, txt)
 		}
 	}
 }

@@ -86,10 +86,11 @@ func Figure8Ctx(ctx context.Context, p Params, bounces int, scenes []scene.Bench
 	for _, b := range scenes {
 		for _, cfg := range Fig8Configs() {
 			pp := p
-			pp.Options.DRS = cfg.DRS
 			arch := harness.ArchDRS
 			if cfg.Aila {
 				arch = harness.ArchAila
+			} else {
+				pp.Options.Policy = core.NewPolicy(cfg.DRS)
 			}
 			for bounce := 1; bounce <= bounces; bounce++ {
 				grid = append(grid, cellsched.Cell[fig8Result]{

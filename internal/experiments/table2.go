@@ -60,7 +60,7 @@ func Table2Ctx(ctx context.Context, p Params, bounces int, scenes []scene.Benchm
 			pp := p
 			cfg := core.DefaultConfig()
 			cfg.SwapBuffers = bufs
-			pp.Options.DRS = cfg
+			pp.Options.Policy = core.NewPolicy(cfg)
 			for bounce := 1; bounce <= bounces; bounce++ {
 				grid = append(grid, cellsched.Cell[table2Result]{
 					Key: fmt.Sprintf("table2/%s/#%d/B%d", b, bufs, bounce),

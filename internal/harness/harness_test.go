@@ -8,7 +8,9 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kernels"
 	"repro/internal/render"
+	"repro/internal/reorder"
 	"repro/internal/scene"
+	"repro/internal/tbc"
 	"repro/internal/trace"
 )
 
@@ -37,11 +39,14 @@ func smallOptions() Options {
 	opt.Simt.NumSMX = 2
 	opt.Simt.MaxCycles = 1 << 24
 	opt.AilaWarps = 8
-	opt.DRS = core.DefaultConfig()
 	// Scale the DRS machine down to match the Aila kernel so the small
-	// test workloads exercise both at comparable occupancy.
-	opt.DRS.WarpsOverride = 8
-	opt.TBC.WarpsPerBlock = 4
+	// test workloads exercise both at comparable occupancy, and shrink
+	// the TBC blocks with it.
+	drsCfg := core.DefaultConfig()
+	drsCfg.WarpsOverride = 8
+	tbcCfg := tbc.DefaultConfig()
+	tbcCfg.WarpsPerBlock = 4
+	opt.PolicyOverrides = []reorder.Policy{core.NewPolicy(drsCfg), tbc.NewPolicy(tbcCfg)}
 	return opt
 }
 
@@ -151,7 +156,10 @@ func TestIdealDRSAtLeastAsFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt.DRS.Ideal = true
+	idealCfg := core.DefaultConfig()
+	idealCfg.WarpsOverride = 8
+	idealCfg.Ideal = true
+	opt.Policy = core.NewPolicy(idealCfg)
 	ideal, err := Run(ArchDRS, rays, data, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package harness
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/reorder"
 )
 
 // OptionsError reports one invalid Options field. Run and RunCtx reject
@@ -35,24 +37,46 @@ const MaxParallelism = 4096
 
 // Validate checks the options against the architecture they will run
 // and returns a typed *OptionsError for the first rejected field. Run
-// and RunCtx call it before building any device state, so a malformed
-// configuration fails fast with a named field instead of panicking in
-// the engine.
+// and RunCtx perform the same validation before building any device
+// state, so a malformed configuration fails fast with a named field
+// instead of panicking in the engine.
 func (o Options) Validate(arch Arch) error {
-	switch arch {
-	case ArchAila, ArchDMK, ArchTBC:
+	if arch < ArchAila || arch > ArchTBC {
+		return &OptionsError{Field: "Arch", Reason: fmt.Sprintf("unknown architecture %d", arch)}
+	}
+	return o.ValidatePolicy(arch.String())
+}
+
+// ValidatePolicy is Validate for a named policy run: it resolves the
+// name (unknown names fail with the registry's typed
+// *reorder.UnknownPolicyError), asks the policy to validate its own
+// configuration, and checks the harness-level fields.
+func (o Options) ValidatePolicy(name string) error {
+	pol, err := o.ResolvePolicy(name)
+	if err != nil {
+		return err
+	}
+	return o.validateResolved(pol)
+}
+
+// validateResolved checks an already-resolved policy plus the
+// policy-independent options.
+func (o Options) validateResolved(pol reorder.Policy) error {
+	if err := pol.Validate(); err != nil {
+		return &OptionsError{
+			Field:  "Policy",
+			Reason: fmt.Sprintf("%s configuration rejected: %v", pol.Name(), err),
+		}
+	}
+	warps := pol.Warps()
+	if warps <= 0 {
 		if o.AilaWarps <= 0 {
 			return &OptionsError{
 				Field:  "AilaWarps",
-				Reason: fmt.Sprintf("warp count %d must be positive for the %s architecture (the paper uses 48)", o.AilaWarps, arch),
+				Reason: fmt.Sprintf("warp count %d must be positive for the %s policy (the paper uses 48)", o.AilaWarps, pol.Name()),
 			}
 		}
-	case ArchDRS:
-		if err := o.DRS.Validate(); err != nil {
-			return &OptionsError{Field: "DRS", Reason: err.Error()}
-		}
-	default:
-		return &OptionsError{Field: "Arch", Reason: fmt.Sprintf("unknown architecture %d", arch)}
+		warps = o.AilaWarps
 	}
 	if o.Parallelism < 0 || o.Parallelism > MaxParallelism {
 		return &OptionsError{
@@ -74,15 +98,10 @@ func (o Options) Validate(arch Arch) error {
 	}
 	// The device config has its own validator (warp size, SMX count,
 	// clock, engine); surface its verdict under one field so callers see
-	// the same typed error shape for every rejection.
+	// the same typed error shape for every rejection. Substitute the
+	// policy's warp count the same way runOnce will before validating.
 	cfg := o.Simt
-	if arch == ArchDRS {
-		// The DRS warp count comes from its row config, not Simt's;
-		// substitute it the same way runOnce will before validating.
-		cfg.MaxWarpsPerSMX = o.DRS.Warps()
-	} else {
-		cfg.MaxWarpsPerSMX = o.AilaWarps
-	}
+	cfg.MaxWarpsPerSMX = warps
 	if err := cfg.Validate(); err != nil {
 		return &OptionsError{Field: "Simt", Reason: err.Error()}
 	}

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/reorder"
 )
 
 // TestValidateRejections is the table test for the up-front Options
@@ -33,8 +36,17 @@ func TestValidateRejections(t *testing.T) {
 		},
 		{
 			name: "broken drs config", arch: ArchDRS,
-			mutate: func(o *Options) { o.DRS.SwapBuffers = -1 },
-			field:  "DRS",
+			mutate: func(o *Options) {
+				cfg := core.DefaultConfig()
+				cfg.SwapBuffers = -1
+				o.PolicyOverrides = []reorder.Policy{core.NewPolicy(cfg)}
+			},
+			field: "Policy",
+		},
+		{
+			name: "pinned policy name mismatch", arch: ArchDMK,
+			mutate: func(o *Options) { o.Policy = core.NewPolicy(core.DefaultConfig()) },
+			field:  "Policy",
 		},
 		{
 			name: "unknown architecture", arch: Arch(99),
@@ -87,12 +99,33 @@ func TestValidateRejections(t *testing.T) {
 }
 
 // TestValidateAcceptsDefaults: the paper configuration must pass for
-// every architecture.
+// every architecture and every registered policy.
 func TestValidateAcceptsDefaults(t *testing.T) {
 	for _, arch := range []Arch{ArchAila, ArchDRS, ArchDMK, ArchTBC} {
 		if err := DefaultOptions().Validate(arch); err != nil {
 			t.Fatalf("defaults rejected for %s: %v", arch, err)
 		}
+	}
+	for _, name := range Policies().Names() {
+		if err := DefaultOptions().ValidatePolicy(name); err != nil {
+			t.Fatalf("defaults rejected for policy %s: %v", name, err)
+		}
+	}
+}
+
+// TestValidateUnknownPolicy: an unknown name must fail with the
+// registry's typed error — the single place names are judged.
+func TestValidateUnknownPolicy(t *testing.T) {
+	err := DefaultOptions().ValidatePolicy("warp-drive")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	var ue *reorder.UnknownPolicyError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *reorder.UnknownPolicyError, got %T: %v", err, err)
+	}
+	if ue.Name != "warp-drive" {
+		t.Fatalf("error names %q", ue.Name)
 	}
 }
 

@@ -49,6 +49,7 @@ type runArtifact struct {
 	Kind          string          `json:"kind"`
 	Scene         string          `json:"scene"`
 	Arch          string          `json:"arch"`
+	Policy        string          `json:"policy,omitempty"`
 	Bounce        int             `json:"bounce"`
 	Rays          int             `json:"rays"`
 	Cycles        int64           `json:"cycles"`
@@ -115,9 +116,11 @@ func (s *Service) runSingle(ctx context.Context, spec *JobSpec, p experiments.Pa
 	if err != nil {
 		return nil, &SpecError{Field: "scene", Reason: err.Error()}
 	}
-	arch, err := ParseArch(spec.Arch)
-	if err != nil {
-		return nil, &SpecError{Field: "arch", Reason: err.Error()}
+	// The spec was validated, so the effective policy name — the policy
+	// field, or the legacy arch spelling — resolves in the registry.
+	name := spec.PolicyName()
+	if _, err := harness.Policies().New(name); err != nil {
+		return nil, &SpecError{Field: "policy", Reason: err.Error()}
 	}
 	w, err := s.cache.Get(b, p)
 	if err != nil {
@@ -139,7 +142,7 @@ func (s *Service) runSingle(ctx context.Context, spec *JobSpec, p experiments.Pa
 			}
 		}
 	}
-	res, err := harness.RunCtx(ctx, arch, rays, w.Data, opt)
+	res, err := harness.RunNamedCtx(ctx, name, rays, w.Data, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +151,7 @@ func (s *Service) runSingle(ctx context.Context, spec *JobSpec, p experiments.Pa
 		Kind:       spec.Kind,
 		Scene:      spec.Scene,
 		Arch:       spec.Arch,
+		Policy:     spec.Policy,
 		Bounce:     spec.Bounce,
 		Rays:       res.Rays,
 		Cycles:     res.GPU.Stats.Cycles,

@@ -76,6 +76,17 @@ type JobSpec struct {
 	Scene string `json:"scene"`
 	// Arch names the architecture for run jobs: aila, drs, dmk, tbc.
 	Arch string `json:"arch"`
+	// Policy names the reordering policy for run jobs — any name in the
+	// harness registry (see drsbench -list-policies). Optional: omission
+	// falls back to Arch (itself defaulting to drs), and Normalize folds
+	// the four legacy architecture names back into Arch, so every spec
+	// expressible before this field existed keeps its exact canonical
+	// encoding and content address. omitempty is what guarantees that:
+	// an absent policy must not appear in the preimage. The fold rules
+	// keep the encoding total — a normalized spec never carries a policy
+	// value that duplicates Arch, so no two distinct jobs share bytes.
+	//drslint:allow spec-hash -- omitempty is required for content-address backward compatibility; Normalize makes empty-vs-legacy-name collisions canonical, not ambiguous
+	Policy string `json:"policy,omitempty"`
 	// Bounce is the trace bounce a run job simulates (1-based).
 	Bounce int `json:"bounce"`
 	// Tris is the per-scene triangle budget (0 = paper full scale).
@@ -142,9 +153,9 @@ func ParseScene(name string) (scene.Benchmark, error) {
 	return 0, fmt.Errorf("unknown scene %q; valid: %v", name, sceneNames())
 }
 
-// ParseArch resolves an architecture name.
+// ParseArch resolves a legacy architecture name.
 func ParseArch(name string) (harness.Arch, error) {
-	for _, a := range []harness.Arch{harness.ArchAila, harness.ArchDRS, harness.ArchDMK, harness.ArchTBC} {
+	for _, a := range legacyArchNames {
 		if a.String() == name {
 			return a, nil
 		}
@@ -174,6 +185,22 @@ func (s *JobSpec) Normalize() {
 	if s.Kind == KindRun && s.Bounce == 0 {
 		s.Bounce = 1
 	}
+	// Policy folding keeps content addresses stable: a policy spelled
+	// with one of the four legacy architecture names collapses into the
+	// arch field (the pre-policy encoding of the same job), and a policy
+	// that merely repeats arch is dropped. Only genuinely new policy
+	// names survive into the canonical encoding.
+	if s.Kind == KindRun {
+		if s.Policy != "" && s.Arch == "" && isLegacyArch(s.Policy) {
+			s.Arch, s.Policy = s.Policy, ""
+		}
+		if s.Policy == s.Arch {
+			s.Policy = ""
+		}
+		if s.Policy == "" && s.Arch == "" {
+			s.Arch = harness.ArchDRS.String()
+		}
+	}
 	if s.Kind == KindTable2 && s.SweepBounces == 0 {
 		s.SweepBounces = 4
 	}
@@ -190,7 +217,16 @@ func (s *JobSpec) Validate() error {
 		if _, err := ParseScene(s.Scene); err != nil {
 			return &SpecError{Field: "scene", Reason: err.Error()}
 		}
-		if _, err := ParseArch(s.Arch); err != nil {
+		if s.Policy != "" {
+			// Normalize already folded legacy names and duplicates away,
+			// so a surviving policy means arch must be empty.
+			if s.Arch != "" {
+				return &SpecError{Field: "policy", Reason: fmt.Sprintf("policy %q conflicts with arch %q; set one of the two", s.Policy, s.Arch)}
+			}
+			if _, err := harness.Policies().New(s.Policy); err != nil {
+				return &SpecError{Field: "policy", Reason: err.Error()}
+			}
+		} else if _, err := ParseArch(s.Arch); err != nil {
 			return &SpecError{Field: "arch", Reason: err.Error()}
 		}
 		if s.Bounce < 1 || s.Bounce > trace.MaxBounces {
@@ -204,6 +240,9 @@ func (s *JobSpec) Validate() error {
 		}
 		if s.Arch != "" {
 			return &SpecError{Field: "arch", Reason: fmt.Sprintf("%s jobs compare fixed architectures; arch must be empty", s.Kind)}
+		}
+		if s.Policy != "" {
+			return &SpecError{Field: "policy", Reason: fmt.Sprintf("%s jobs compare fixed architectures; policy must be empty", s.Kind)}
 		}
 		if s.Bounce != 0 {
 			return &SpecError{Field: "bounce", Reason: fmt.Sprintf("%s jobs sweep bounces; bounce must be empty", s.Kind)}
@@ -241,6 +280,29 @@ func (s *JobSpec) Validate() error {
 		return &SpecError{Field: "timeout_ms", Reason: fmt.Sprintf("timeout %dms out of range [0,%d]", s.TimeoutMS, MaxTimeoutMS)}
 	}
 	return nil
+}
+
+// legacyArchNames are the four method names that predate the policy
+// field; specs spelling them via policy fold back into arch.
+var legacyArchNames = []harness.Arch{harness.ArchAila, harness.ArchDRS, harness.ArchDMK, harness.ArchTBC}
+
+func isLegacyArch(name string) bool {
+	for _, a := range legacyArchNames {
+		if a.String() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PolicyName returns the reordering policy a normalized run spec
+// selects: the policy field when set, otherwise the legacy arch
+// spelling (both route through the same harness registry).
+func (s *JobSpec) PolicyName() string {
+	if s.Policy != "" {
+		return s.Policy
+	}
+	return s.Arch
 }
 
 // Canonical returns the canonical encoding of a normalized spec: the

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// goldenSpec is one row of testdata/spec_golden.json: a submission body
+// with the canonical encoding and content address it produced before
+// the optional policy field existed.
+type goldenSpec struct {
+	Input     string `json:"input"`
+	Canonical string `json:"canonical"`
+	ID        string `json:"id"`
+}
+
+// TestSpecGoldenAddresses holds the content-address contract across the
+// policy-field addition: every representative pre-policy spec must
+// still decode to the exact canonical bytes and SHA-256 address that
+// were captured before the field existed. A failure here means
+// deployed drsd job stores and client caches silently re-address — do
+// not update the golden file to make it pass; fix the encoding.
+func TestSpecGoldenAddresses(t *testing.T) {
+	raw, err := os.ReadFile("testdata/spec_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []goldenSpec
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("golden corpus has %d rows; want the full pre-policy set", len(rows))
+	}
+	for _, row := range rows {
+		spec, err := DecodeSpec([]byte(row.Input))
+		if err != nil {
+			t.Errorf("pre-policy spec no longer decodes: %s: %v", row.Input, err)
+			continue
+		}
+		if got := string(spec.Canonical()); got != row.Canonical {
+			t.Errorf("canonical drift for %s:\n got %s\nwant %s", row.Input, got, row.Canonical)
+		}
+		if got := spec.ID(); got != row.ID {
+			t.Errorf("content address drift for %s:\n got %s\nwant %s", row.Input, got, row.ID)
+		}
+	}
+}
+
+// TestSpecPolicyFolding: the policy field's normalization rules. Legacy
+// spellings fold into arch (same job, same pre-policy address); new
+// policy names survive into the encoding and get distinct addresses.
+func TestSpecPolicyFolding(t *testing.T) {
+	legacy, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := []string{
+		`{"kind":"run","scene":"conference","policy":"drs"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","policy":"drs"}`,
+		`{"kind":"run","scene":"conference"}`, // omission normalizes to drs
+	}
+	for _, body := range folds {
+		spec, err := DecodeSpec([]byte(body))
+		if err != nil {
+			t.Errorf("%s: %v", body, err)
+			continue
+		}
+		if spec.ID() != legacy.ID() {
+			t.Errorf("%s did not fold to the legacy drs address:\n got %s\nwant %s",
+				body, spec.Canonical(), legacy.Canonical())
+		}
+		if spec.PolicyName() != "drs" {
+			t.Errorf("%s: PolicyName = %q", body, spec.PolicyName())
+		}
+	}
+
+	ser, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","policy":"ser"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.ID() == legacy.ID() {
+		t.Fatal("a new policy name must change the content address")
+	}
+	if ser.Policy != "ser" || ser.Arch != "" || ser.PolicyName() != "ser" {
+		t.Fatalf("new policy name mangled by normalization: %+v", ser)
+	}
+	again, err := DecodeSpec(ser.Canonical())
+	if err != nil {
+		t.Fatalf("policy spec canonical encoding does not re-decode: %v", err)
+	}
+	if again.ID() != ser.ID() {
+		t.Fatal("policy spec address unstable across round-trip")
+	}
+}
+
+// TestSpecPolicyRejections: the new field's failure modes are typed
+// SpecErrors, and unknown names carry the registry's judgment.
+func TestSpecPolicyRejections(t *testing.T) {
+	cases := []struct {
+		name, body, field string
+	}{
+		{"unknown policy", `{"kind":"run","scene":"conference","policy":"warp-drive"}`, "policy"},
+		{"policy conflicts with arch", `{"kind":"run","scene":"conference","arch":"aila","policy":"ser"}`, "policy"},
+		{"policy on grid job", `{"kind":"fig10","policy":"ser"}`, "policy"},
+		{"duplicate policy key", `{"kind":"run","scene":"conference","policy":"ser","policy":"drs"}`, "policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			se, ok := AsSpecError(err)
+			if !ok {
+				t.Fatalf("want *SpecError, got %T: %v", err, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("field = %q, want %q (%v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}

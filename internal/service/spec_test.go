@@ -121,6 +121,11 @@ func FuzzJobSpec(f *testing.F) {
 		`{`,
 		``,
 		`{"kind":"run","scene":"conference","arch":"drs","spp":9999999}`,
+		`{"kind":"run","scene":"conference","policy":"warp-drive"}`,
+		`{"kind":"run","scene":"conference","policy":"ser","policy":"drs"}`,
+		`{"kind":"run","scene":"conference","policy":""}`,
+		`{"kind":"run","scene":"conference","policy":"sort"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","policy":"drs"}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
