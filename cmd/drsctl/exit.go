@@ -1,0 +1,29 @@
+package main
+
+import "net/http"
+
+// drsctl exit-code contract. Scripts branch on these: a 3 means the
+// daemon never saw the job (submit it), a 4 means it ran but the
+// artifact was evicted from the persistent store (resubmitting the
+// spec recomputes byte-identical output).
+const (
+	exitOK      = 0 // 2xx response
+	exitRemote  = 1 // transport failure or any other non-2xx
+	exitUsage   = 2 // bad command line, decided before any request
+	exitUnknown = 3 // HTTP 404: job unknown to the daemon
+	exitEvicted = 4 // HTTP 410: artifact evicted from the store
+)
+
+// exitCodeFor maps a response status to the contract above.
+func exitCodeFor(status int) int {
+	switch {
+	case status >= 200 && status < 300:
+		return exitOK
+	case status == http.StatusNotFound:
+		return exitUnknown
+	case status == http.StatusGone:
+		return exitEvicted
+	default:
+		return exitRemote
+	}
+}

@@ -1,51 +1,72 @@
 // Command drsctl is the client for the drsd job daemon.
 //
 //	drsctl [-addr URL] submit [flags]   submit a job (see submit -help)
+//	drsctl id [flags]                   print a spec's content address (no daemon)
 //	drsctl [-addr URL] status <id>      job status
 //	drsctl [-addr URL] result <id>      result artifact
+//	drsctl [-addr URL] artifact <id>    persistent-store artifact
 //	drsctl [-addr URL] watch <id>       stream SSE progress events
 //	drsctl [-addr URL] jobs             list jobs in admission order
 //	drsctl [-addr URL] metrics          canonical metrics snapshot
 //	drsctl [-addr URL] health           daemon liveness / drain state
 //
-// Exit codes: 0 success, 1 remote or transport error, 2 usage.
+// With -peers (comma-separated worker base URLs) submit and artifact
+// resolve through the shard layer in cost order: the local -store
+// cache, then the content address's owning workers' stores, and only
+// then an actual submission — walking the rendezvous failover order
+// past dead workers. -store names a client-side cache directory; it
+// must not be a running daemon's store.
+//
+// Exit codes: 0 success, 1 remote or transport error, 2 usage,
+// 3 job unknown (HTTP 404), 4 artifact evicted from the persistent
+// store (HTTP 410; resubmit the spec to recompute identical bytes).
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: drsctl [-addr URL] submit|status|result|watch|jobs|metrics|health [args]")
+	fmt.Fprintln(os.Stderr, "usage: drsctl [-addr URL] [-peers URLS] [-store DIR] submit|id|status|result|artifact|watch|jobs|metrics|health [args]")
 }
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8321", "drsd base URL")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster worker; submit/artifact resolve through the shard layer")
+	storeDir := flag.String("store", "", "client-side artifact cache directory (not a daemon's store)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
-	c := client{base: *addr}
+	c := client{base: *addr, peers: *peers, storeDir: *storeDir}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "submit":
 		c.submit(rest)
+	case "id":
+		printID(rest)
 	case "status":
 		c.show(rest, "status", "/v1/jobs/%s")
 	case "result":
 		c.show(rest, "result", "/v1/jobs/%s/result")
+	case "artifact":
+		c.artifact(rest)
 	case "watch":
 		c.watch(rest)
 	case "jobs":
@@ -56,27 +77,59 @@ func main() {
 		c.get("/healthz")
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 }
 
-type client struct{ base string }
+type client struct {
+	base     string
+	peers    string
+	storeDir string
+}
+
+// sharded builds the read-through shard client when -peers was given.
+func (c client) sharded() *shard.Client {
+	if c.peers == "" {
+		return nil
+	}
+	var workers []string
+	for _, p := range strings.Split(c.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			workers = append(workers, p)
+		}
+	}
+	router, err := shard.NewRouter(workers)
+	if err != nil {
+		fail(fmt.Errorf("-peers: %w", err))
+	}
+	sc := &shard.Client{Router: router}
+	if c.storeDir != "" {
+		store, err := artifact.Open(artifact.Config{Dir: c.storeDir})
+		if err != nil {
+			fail(fmt.Errorf("-store: %w", err))
+		}
+		// The process exits right after the command; the store's
+		// append-only index tolerates that without a Close.
+		sc.Local = store
+	}
+	return sc
+}
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "drsctl:", err)
-	os.Exit(1)
+	os.Exit(exitRemote)
 }
 
-// emit prints a response body and exits 1 on a non-2xx status after
-// printing it (error bodies are JSON and worth seeing).
+// emit prints a response body and exits with the contract code for the
+// status (error bodies are JSON and worth seeing, so they print first).
 func emit(body []byte, code int) {
 	os.Stdout.Write(body)
 	if len(body) > 0 && body[len(body)-1] != '\n' {
 		fmt.Println()
 	}
-	if code < 200 || code >= 300 {
+	if ec := exitCodeFor(code); ec != exitOK {
 		fmt.Fprintf(os.Stderr, "drsctl: HTTP %d\n", code)
-		os.Exit(1)
+		os.Exit(ec)
 	}
 }
 
@@ -97,99 +150,177 @@ func (c client) get(path string) {
 func (c client) show(args []string, name, pattern string) {
 	if len(args) != 1 {
 		fmt.Fprintf(os.Stderr, "usage: drsctl %s <job-id>\n", name)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	c.get(fmt.Sprintf(pattern, args[0]))
 }
 
-func (c client) submit(args []string) {
-	fs := flag.NewFlagSet("submit", flag.ExitOnError)
-	var (
-		wait     = fs.Bool("wait", false, "block until the job finishes and print the result artifact")
-		specFile = fs.String("spec", "", "read the job spec JSON from this file (- = stdin) instead of building it from flags")
+// artifact fetches a stored artifact: through the shard layer with
+// -peers (local cache, then owners in failover order), else from the
+// -addr daemon's store endpoint.
+func (c client) artifact(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: drsctl artifact <job-id>")
+		os.Exit(exitUsage)
+	}
+	sc := c.sharded()
+	if sc == nil {
+		c.get("/v1/artifacts/" + args[0])
+		return
+	}
+	res, ok, err := sc.FetchArtifact(context.Background(), args[0])
+	if err != nil {
+		fail(err)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "drsctl: artifact not stored on any owner")
+		os.Exit(exitUnknown)
+	}
+	fmt.Fprintf(os.Stderr, "drsctl: artifact source: %s\n", sourceLabel(res))
+	emit(res.Body, res.Status)
+}
 
-		kind    = fs.String("kind", service.KindRun, "job kind: run|fig10|table2")
-		scen    = fs.String("scene", "conference", "benchmark scene (empty on grid jobs = all four)")
-		arch    = fs.String("arch", "drs", "architecture for run jobs: aila|drs|dmk|tbc")
-		policy  = fs.String("policy", "", "reordering policy for run jobs (any registered name; overrides -arch)")
-		bounce  = fs.Int("bounce", 1, "trace bounce for run jobs")
-		tris    = fs.Int("tris", 0, "triangle budget (0 = service default)")
-		width   = fs.Int("w", 0, "trace render width (0 = service default)")
-		height  = fs.Int("h", 0, "trace render height (0 = service default)")
-		spp     = fs.Int("spp", 0, "samples per pixel (0 = service default)")
-		rays    = fs.Int("rays", 0, "cap rays per bounce (0 = no cap)")
-		bounces = fs.Int("bounces", 0, "bounces to simulate on grid jobs (0 = service default)")
-		sweepB  = fs.Int("sweep-bounces", 0, "per-bounce rows for table2 (0 = service default)")
-		cmpB    = fs.Int("cmp-bounces", 0, "per-bounce rows for fig10 (0 = service default)")
-		par     = fs.Int("par", 0, "cell scheduler workers inside the job (0 = GOMAXPROCS)")
-		observe = fs.Bool("observe", false, "attach the metrics registry and epoch progress stream (run jobs)")
-		timeout = fs.Int64("timeout-ms", 0, "per-job execution deadline in ms (0 = server default)")
-	)
-	fs.Parse(args)
+func sourceLabel(res *shard.Result) string {
+	if res.Worker != "" {
+		return res.Source + " " + res.Worker
+	}
+	return res.Source
+}
 
-	var payload []byte
+// specFlags registers the job-spec flags shared by submit and id.
+type specFlags struct {
+	fs       *flag.FlagSet
+	specFile *string
+
+	kind, scen, arch, policy               *string
+	bounce, tris, width, height, spp, rays *int
+	bounces, sweepB, cmpB, par             *int
+	observe                                *bool
+	timeout                                *int64
+}
+
+func newSpecFlags(fs *flag.FlagSet) *specFlags {
+	return &specFlags{
+		fs:       fs,
+		specFile: fs.String("spec", "", "read the job spec JSON from this file (- = stdin) instead of building it from flags"),
+		kind:     fs.String("kind", service.KindRun, "job kind: run|fig10|table2"),
+		scen:     fs.String("scene", "conference", "benchmark scene (empty on grid jobs = all four)"),
+		arch:     fs.String("arch", "drs", "architecture for run jobs: aila|drs|dmk|tbc"),
+		policy:   fs.String("policy", "", "reordering policy for run jobs (any registered name; overrides -arch)"),
+		bounce:   fs.Int("bounce", 1, "trace bounce for run jobs"),
+		tris:     fs.Int("tris", 0, "triangle budget (0 = service default)"),
+		width:    fs.Int("w", 0, "trace render width (0 = service default)"),
+		height:   fs.Int("h", 0, "trace render height (0 = service default)"),
+		spp:      fs.Int("spp", 0, "samples per pixel (0 = service default)"),
+		rays:     fs.Int("rays", 0, "cap rays per bounce (0 = no cap)"),
+		bounces:  fs.Int("bounces", 0, "bounces to simulate on grid jobs (0 = service default)"),
+		sweepB:   fs.Int("sweep-bounces", 0, "per-bounce rows for table2 (0 = service default)"),
+		cmpB:     fs.Int("cmp-bounces", 0, "per-bounce rows for fig10 (0 = service default)"),
+		par:      fs.Int("par", 0, "cell scheduler workers inside the job (0 = GOMAXPROCS)"),
+		observe:  fs.Bool("observe", false, "attach the metrics registry and epoch progress stream (run jobs)"),
+		timeout:  fs.Int64("timeout-ms", 0, "per-job execution deadline in ms (0 = server default)"),
+	}
+}
+
+// payload materializes the spec JSON: the -spec file/stdin verbatim,
+// or the flag-built spec.
+func (sf *specFlags) payload() []byte {
 	switch {
-	case *specFile == "-":
+	case *sf.specFile == "-":
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			fail(err)
 		}
-		payload = data
-	case *specFile != "":
-		data, err := os.ReadFile(*specFile)
+		return data
+	case *sf.specFile != "":
+		data, err := os.ReadFile(*sf.specFile)
 		if err != nil {
 			fail(err)
 		}
-		payload = data
-	default:
-		spec := service.JobSpec{
-			Kind:             *kind,
-			Scene:            *scen,
-			Arch:             *arch,
-			Policy:           *policy,
-			Bounce:           *bounce,
-			Tris:             *tris,
-			Width:            *width,
-			Height:           *height,
-			SPP:              *spp,
-			MaxRaysPerBounce: *rays,
-			Bounces:          *bounces,
-			SweepBounces:     *sweepB,
-			CmpBounces:       *cmpB,
-			Parallelism:      *par,
-			Observe:          *observe,
-			TimeoutMS:        *timeout,
+		return data
+	}
+	spec := service.JobSpec{
+		Kind:             *sf.kind,
+		Scene:            *sf.scen,
+		Arch:             *sf.arch,
+		Policy:           *sf.policy,
+		Bounce:           *sf.bounce,
+		Tris:             *sf.tris,
+		Width:            *sf.width,
+		Height:           *sf.height,
+		SPP:              *sf.spp,
+		MaxRaysPerBounce: *sf.rays,
+		Bounces:          *sf.bounces,
+		SweepBounces:     *sf.sweepB,
+		CmpBounces:       *sf.cmpB,
+		Parallelism:      *sf.par,
+		Observe:          *sf.observe,
+		TimeoutMS:        *sf.timeout,
+	}
+	archSet, sceneSet := false, false
+	sf.fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "arch":
+			archSet = true
+		case "scene":
+			sceneSet = true
 		}
-		archSet, sceneSet := false, false
-		fs.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "arch":
-				archSet = true
-			case "scene":
-				sceneSet = true
-			}
-		})
-		if *policy != "" && !archSet {
-			// -policy names the reordering strategy directly; only an
-			// explicit -arch should conflict with it, not the default.
-			spec.Arch = ""
+	})
+	if *sf.policy != "" && !archSet {
+		// -policy names the reordering strategy directly; only an
+		// explicit -arch should conflict with it, not the default.
+		spec.Arch = ""
+	}
+	if *sf.kind != service.KindRun {
+		// Grid jobs reject run-only fields; drop the run defaults
+		// (and the scene default, unless -scene was given
+		// explicitly — an empty scene means all four benchmarks).
+		spec.Arch = ""
+		spec.Policy = ""
+		spec.Bounce = 0
+		if !sceneSet {
+			spec.Scene = ""
 		}
-		if *kind != service.KindRun {
-			// Grid jobs reject run-only fields; drop the run defaults
-			// (and the scene default, unless -scene was given
-			// explicitly — an empty scene means all four benchmarks).
-			spec.Arch = ""
-			spec.Policy = ""
-			spec.Bounce = 0
-			if !sceneSet {
-				spec.Scene = ""
-			}
-		}
-		data, err := json.Marshal(spec)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		fail(err)
+	}
+	return data
+}
+
+// printID computes a spec's content address locally — the same
+// normalization and canonical encoding the daemon applies — so scripts
+// can find an id's owners (GET /v1/shard/{id}) before submitting.
+func printID(args []string) {
+	fs := flag.NewFlagSet("id", flag.ExitOnError)
+	sf := newSpecFlags(fs)
+	fs.Parse(args)
+	spec, err := service.DecodeSpec(sf.payload())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drsctl:", err)
+		os.Exit(exitUsage)
+	}
+	fmt.Println(spec.ID())
+}
+
+func (c client) submit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "block until the job finishes and print the result artifact")
+	sf := newSpecFlags(fs)
+	fs.Parse(args)
+	payload := sf.payload()
+
+	if sc := c.sharded(); sc != nil {
+		// Read-through submission: local store, owning shards' stores,
+		// then a blocking submit walking the failover order.
+		res, err := sc.Submit(context.Background(), payload)
 		if err != nil {
 			fail(err)
 		}
-		payload = data
+		fmt.Fprintf(os.Stderr, "drsctl: artifact source: %s\n", sourceLabel(res))
+		emit(res.Body, res.Status)
+		return
 	}
 
 	url := c.base + "/v1/jobs"
@@ -212,7 +343,7 @@ func (c client) submit(args []string) {
 func (c client) watch(args []string) {
 	if len(args) != 1 {
 		fmt.Fprintln(os.Stderr, "usage: drsctl watch <job-id>")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
 	if err != nil {

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestExitCodeContract pins the drsctl exit-code table scripts rely
+// on: 0 success, 1 remote error, 3 job unknown, 4 artifact evicted.
+// (2 = usage never reaches exitCodeFor — it is decided before any
+// request is made.)
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		want   int
+	}{
+		{"ok", http.StatusOK, exitOK},
+		{"accepted-async-submit", http.StatusAccepted, exitOK},
+		{"no-content", http.StatusNoContent, exitOK},
+		{"bad-request", http.StatusBadRequest, exitRemote},
+		{"job-unknown", http.StatusNotFound, exitUnknown},
+		{"conflict-canceled", http.StatusConflict, exitRemote},
+		{"artifact-evicted", http.StatusGone, exitEvicted},
+		{"rejected-invalid", http.StatusUnprocessableEntity, exitRemote},
+		{"queue-full", http.StatusTooManyRequests, exitRemote},
+		{"job-failed", http.StatusInternalServerError, exitRemote},
+		{"draining", http.StatusServiceUnavailable, exitRemote},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCodeFor(tc.status); got != tc.want {
+				t.Fatalf("exitCodeFor(%d) = %d, want %d", tc.status, got, tc.want)
+			}
+		})
+	}
+	// The contract values themselves are API: renumbering them breaks
+	// every script that branches on $?.
+	if exitOK != 0 || exitRemote != 1 || exitUsage != 2 || exitUnknown != 3 || exitEvicted != 4 {
+		t.Fatal("exit-code constants renumbered; scripts branch on these values")
+	}
+}

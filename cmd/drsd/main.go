@@ -5,6 +5,20 @@
 // with a process-wide workload cache, and streams epoch-barrier
 // progress over SSE.
 //
+// With -store DIR results also land in a persistent content-addressed
+// artifact store: restarts serve previously computed specs without
+// re-executing, every read is digest-verified (corruption falls back
+// to recomputation), and -store-max-bytes / -store-max-age bound it
+// with oldest-first eviction.
+//
+// With -peers (a comma-separated list of every worker's base URL,
+// including this one's, named again by -self) the daemon serves as one
+// shard of a cluster: submissions for content addresses another worker
+// owns under rendezvous hashing are forwarded to that owner, so
+// identical specs converge on one process — and one execution —
+// cluster-wide. GET /v1/artifacts/{id} exposes the store to peers and
+// GET /v1/shard/{id} reports an id's owner order.
+//
 // Shutdown is graceful: SIGINT/SIGTERM stops admission (submissions
 // get 503), in-flight and queued jobs drain up to -drain, and the
 // process exits 0 on a clean drain, 1 if jobs had to be canceled.
@@ -19,10 +33,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -34,23 +51,68 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline: how long to let admitted jobs finish before canceling them")
 		retries    = flag.Int("retries", 3, "max execution attempts per job (only transient failures retry)")
 		epochEvery = flag.Int64("epoch-events", 16, "emit one SSE progress event per N epoch barriers on observed runs")
+
+		storeDir  = flag.String("store", "", "persistent artifact store directory (empty = results live in memory only)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "store size cap in bytes; oldest artifacts evict first (0 = unbounded)")
+		storeAge  = flag.Duration("store-max-age", 0, "store age cap; older artifacts evict (0 = unbounded)")
+		peersFlag = flag.String("peers", "", "comma-separated base URLs of every cluster worker (including this one); enables shard routing")
+		selfFlag  = flag.String("self", "", "this worker's base URL within -peers (required with -peers)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DefaultTimeout:  *jobTimeout,
 		MaxAttempts:     *retries,
 		EpochEventEvery: *epochEvery,
-	})
+	}
+	var store *artifact.Store
+	if *storeDir != "" {
+		var err error
+		store, err = artifact.Open(artifact.Config{
+			Dir:      *storeDir,
+			MaxBytes: *storeMax,
+			MaxAge:   *storeAge,
+		})
+		if err != nil {
+			log.Fatalf("drsd: opening artifact store: %v", err)
+		}
+		defer store.Close()
+		cfg.Store = store
+		log.Printf("drsd: artifact store %s (%d artifacts, %d bytes)", *storeDir, store.Len(), store.Bytes())
+	}
+	svc := service.New(cfg)
+
+	handler := http.Handler(svc.Handler())
+	if *peersFlag != "" {
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		router, err := shard.NewRouter(peers)
+		if err != nil {
+			log.Fatalf("drsd: -peers: %v", err)
+		}
+		if *selfFlag == "" {
+			log.Fatal("drsd: -peers requires -self (this worker's base URL within the peer set)")
+		}
+		proxy, err := shard.Wrap(handler, router, *selfFlag, nil)
+		if err != nil {
+			log.Fatalf("drsd: shard routing: %v", err)
+		}
+		handler = proxy
+		log.Printf("drsd: shard %s of %d-worker cluster", *selfFlag, len(peers))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("drsd: listen: %v", err)
 	}
 	srv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	serveErr := make(chan error, 1)

@@ -1,0 +1,12 @@
+package artifact
+
+import "time"
+
+// realNow is the default store clock. It is the single wall-clock read
+// in the package: artifact bytes and content addresses never see it —
+// it only orders GC evictions — and every test injects virtual time
+// through Config.Now instead.
+func realNow() int64 {
+	//drslint:allow wallclock -- GC eviction ordering only; artifact bytes and ids never depend on the clock
+	return time.Now().Unix()
+}

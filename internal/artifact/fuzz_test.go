@@ -1,0 +1,75 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzArtifactIndex holds the index codec to its contract: decoding
+// arbitrary bytes never panics; whatever decodes cleanly re-encodes to
+// a log that decodes to the same records (a store that replays its own
+// index must reconstruct exactly the state that wrote it); and a
+// reported truncation always points at a valid prefix that itself
+// decodes cleanly — that offset is what Open truncates the file to, so
+// a lie here would destroy good records.
+func FuzzArtifactIndex(f *testing.F) {
+	valid := idOf("seed")
+	digest := idOf("digest")
+	f.Add([]byte(`{"op":"put","id":"` + valid + `","digest":"` + digest + `","size":3,"unix":100}` + "\n"))
+	f.Add([]byte(`{"op":"evict","id":"` + valid + `","unix":200}` + "\n"))
+	f.Add([]byte(`{"op":"drop","id":"` + valid + `","unix":300}` + "\n"))
+	// Truncated tail: a crash mid-append.
+	f.Add([]byte(`{"op":"put","id":"` + valid + `","digest":"` + digest + `","size":3,"unix":100}` + "\n" +
+		`{"op":"put","id":"` + valid + `","dig`))
+	// Duplicate key inside one record.
+	f.Add([]byte(`{"op":"put","op":"evict","id":"` + valid + `","unix":1}` + "\n"))
+	// Digest that is not a hex sha-256.
+	f.Add([]byte(`{"op":"put","id":"` + valid + `","digest":"beef","size":3,"unix":1}` + "\n"))
+	// Unknown field, unknown op, trailing garbage, empty line.
+	f.Add([]byte(`{"op":"put","id":"` + valid + `","digest":"` + digest + `","size":3,"unix":1,"extra":true}` + "\n"))
+	f.Add([]byte(`{"op":"compact","id":"` + valid + `","unix":1}` + "\n"))
+	f.Add([]byte(`{"op":"evict","id":"` + valid + `","unix":1} {}` + "\n"))
+	f.Add([]byte("\n"))
+	f.Add([]byte(`{"op":"evict","id":"` + valid + `","size":9,"unix":1}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := decodeIndex(data)
+		if err != nil {
+			if err.Offset < 0 || err.Offset > len(data) || err.Line < 1 {
+				t.Fatalf("error location out of range: %+v (len %d)", err, len(data))
+			}
+			// The valid prefix must stand on its own: Open truncates to
+			// Offset and replays, so it has to decode cleanly and to
+			// the same records.
+			prefix, perr := decodeIndex(data[:err.Offset])
+			if perr != nil {
+				t.Fatalf("reported prefix does not decode: %v", perr)
+			}
+			if len(prefix) != len(recs) {
+				t.Fatalf("prefix decodes %d records, error path returned %d", len(prefix), len(recs))
+			}
+		}
+		// Round-trip: re-encoding every decoded record yields a log
+		// that decodes to identical records.
+		var buf bytes.Buffer
+		for i := range recs {
+			line, eerr := encodeRecord(&recs[i])
+			if eerr != nil {
+				t.Fatalf("decoded record %d refuses to re-encode: %v", i, eerr)
+			}
+			buf.Write(line)
+		}
+		again, aerr := decodeIndex(buf.Bytes())
+		if aerr != nil {
+			t.Fatalf("re-encoded log does not decode: %v", aerr)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip lost records: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Index log codec. The index is a JSONL append-only log: one record
+// per line, each a fixed-field JSON object. The decoder is strict the
+// same way the service's spec decoder is strict — unknown fields,
+// duplicate keys, malformed hex digests and impossible sizes are typed
+// errors, never silently-accepted garbage — because the index is the
+// only thing standing between a restarted daemon and serving bytes it
+// cannot vouch for. The single tolerated irregularity is a truncated
+// final line (a crash mid-append), reported with Truncated=true so
+// Open can drop the torn tail and continue.
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Index record operations.
+const (
+	// opPut records a stored body: id, digest, size, put time.
+	opPut = "put"
+	// opEvict records a GC tombstone for id.
+	opEvict = "evict"
+	// opDrop records a corruption-triggered removal: the id is
+	// forgotten entirely (a later Get is ErrNotFound, not ErrEvicted),
+	// because corruption is an integrity event, not a policy decision.
+	opDrop = "drop"
+)
+
+// record is one index log line. Field order is the canonical encoding
+// (encodeRecord uses plain Marshal of this struct).
+type record struct {
+	Op     string `json:"op"`
+	ID     string `json:"id"`
+	Digest string `json:"digest,omitempty"`
+	Size   int64  `json:"size,omitempty"`
+	Unix   int64  `json:"unix"`
+}
+
+// IndexError reports where and why index decoding stopped.
+type IndexError struct {
+	// Line is the 1-based line number of the offending record.
+	Line int
+	// Offset is the byte offset of the start of the offending line —
+	// the length of the valid prefix, which Open truncates to when the
+	// error is a torn tail.
+	Offset int
+	// Truncated marks the one recoverable case: the final line is
+	// incomplete (no terminating newline or a cut-off JSON object),
+	// the signature of a crash mid-append.
+	Truncated bool
+	// Reason says what was wrong.
+	Reason string
+}
+
+func (e *IndexError) Error() string {
+	kind := "invalid"
+	if e.Truncated {
+		kind = "truncated"
+	}
+	return fmt.Sprintf("index line %d (offset %d): %s record: %s", e.Line, e.Offset, kind, e.Reason)
+}
+
+// encodeRecord renders one record as a newline-terminated JSON line.
+func encodeRecord(r *record) ([]byte, error) {
+	if err := checkRecord(r); err != nil {
+		return nil, fmt.Errorf("artifact: refusing to encode %s", err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: encoding index record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// checkRecord validates one decoded (or to-be-encoded) record.
+func checkRecord(r *record) *IndexError {
+	bad := func(reason string) *IndexError { return &IndexError{Reason: reason} }
+	switch r.Op {
+	case opPut:
+		if !validID(r.Digest) {
+			return bad(fmt.Sprintf("digest %q is not a hex sha-256", r.Digest))
+		}
+		if r.Size < 0 {
+			return bad(fmt.Sprintf("negative size %d", r.Size))
+		}
+	case opEvict, opDrop:
+		if r.Digest != "" || r.Size != 0 {
+			return bad(fmt.Sprintf("%s record carries put fields", r.Op))
+		}
+	default:
+		return bad(fmt.Sprintf("unknown op %q", r.Op))
+	}
+	if !validID(r.ID) {
+		return bad(fmt.Sprintf("id %q is not a hex sha-256", r.ID))
+	}
+	return nil
+}
+
+// decodeIndex parses an index log. On success it returns every record.
+// On failure it returns the records decoded before the error plus an
+// *IndexError locating it; Truncated distinguishes a torn final line
+// (recoverable — the valid prefix stands) from interior corruption
+// (not recoverable — the store refuses to open on it rather than
+// serve an index it cannot fully account for).
+func decodeIndex(data []byte) ([]record, *IndexError) {
+	var recs []record
+	offset := 0
+	for line := 1; offset < len(data); line++ {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			return recs, &IndexError{Line: line, Offset: offset, Truncated: true,
+				Reason: "no terminating newline"}
+		}
+		raw := data[offset : offset+nl]
+		rec, reason := decodeRecord(raw)
+		if reason != "" {
+			e := &IndexError{Line: line, Offset: offset, Reason: reason}
+			// A malformed final line is a torn append even when the
+			// newline made it to disk before the crash took the rest.
+			e.Truncated = offset+nl+1 >= len(data)
+			return recs, e
+		}
+		recs = append(recs, *rec)
+		offset += nl + 1
+	}
+	return recs, nil
+}
+
+// decodeRecord parses one line strictly: exactly one JSON object, no
+// unknown fields, no duplicate keys, no trailing content, and the
+// field values themselves must make sense for the op.
+func decodeRecord(raw []byte) (*record, string) {
+	if err := checkLineDuplicateKeys(raw); err != "" {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var r record
+	if err := dec.Decode(&r); err != nil {
+		return nil, err.Error()
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, "trailing data after record object"
+	}
+	if err := checkRecord(&r); err != nil {
+		return nil, err.Reason
+	}
+	return &r, ""
+}
+
+// checkLineDuplicateKeys rejects a record whose object repeats a key:
+// encoding/json keeps the last duplicate, which would let two
+// textually different lines decode to one record and hide which value
+// actually protected the bytes.
+func checkLineDuplicateKeys(raw []byte) string {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	depth := 0
+	seen := make(map[string]bool)
+	expectKey := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return ""
+		}
+		if err != nil {
+			return err.Error()
+		}
+		switch t := tok.(type) {
+		case json.Delim:
+			switch t {
+			case '{':
+				depth++
+				expectKey = depth == 1
+			case '}':
+				depth--
+			case '[', ']':
+				// Records hold no arrays, but the strict decoder will
+				// reject the field type; nothing to track here.
+			}
+		case string:
+			if depth == 1 && expectKey {
+				if seen[t] {
+					return fmt.Sprintf("duplicate key %q", t)
+				}
+				seen[t] = true
+				expectKey = false
+			} else if depth == 1 {
+				expectKey = true
+			}
+		default:
+			if depth == 1 {
+				expectKey = true
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPutGetGC hammers one store directory from many
+// goroutines doing Put, Get and GC at once. Run under -race this is
+// the store's concurrency proof; in any mode it asserts the integrity
+// invariant that a Get never returns wrong bytes — every outcome is
+// either the exact stored body or a typed miss.
+func TestConcurrentPutGetGC(t *testing.T) {
+	s, _ := openTest(t, t.TempDir(), Config{MaxBytes: 2000})
+
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 40
+	)
+	bodyOf := func(k int) []byte {
+		return bytes.Repeat([]byte{byte('a' + k)}, 100)
+	}
+	ids := make([]string, keys)
+	for k := range ids {
+		ids[k] = idOf(fmt.Sprintf("key-%d", k))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w + r) % keys
+				switch r % 3 {
+				case 0:
+					if err := s.Put(ids[k], bodyOf(k)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					body, _, err := s.Get(ids[k])
+					switch {
+					case err == nil:
+						if !bytes.Equal(body, bodyOf(k)) {
+							t.Errorf("get %d returned wrong bytes", k)
+							return
+						}
+					case errors.Is(err, ErrNotFound), errors.Is(err, ErrEvicted):
+						// Legitimate interleavings with Put/GC.
+					default:
+						t.Errorf("get: %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.GC(); err != nil {
+						t.Errorf("gc: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The store must still be coherent: every live artifact verifies.
+	if bad := s.VerifyAll(); len(bad) != 0 {
+		t.Fatalf("artifacts failed verification after concurrent traffic: %v", bad)
+	}
+	if s.cfg.MaxBytes > 0 {
+		if _, err := s.GC(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Bytes(); got > s.cfg.MaxBytes {
+			t.Fatalf("bytes %d exceed cap %d after final GC", got, s.cfg.MaxBytes)
+		}
+	}
+}
+
+// TestConcurrentReopenHammer closes and reopens the store between
+// bursts of concurrent traffic, asserting the replayed index always
+// reconstructs a verifiable store.
+func TestConcurrentReopenHammer(t *testing.T) {
+	dir := t.TempDir()
+	for gen := 0; gen < 3; gen++ {
+		clk := &fakeClock{now: int64(1000 * (gen + 1))}
+		s, err := Open(Config{Dir: dir, MaxAge: 10 * time.Minute, Now: clk.Now})
+		if err != nil {
+			t.Fatalf("gen %d open: %v", gen, err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < 10; r++ {
+					id := idOf(fmt.Sprintf("g%d-w%d-r%d", gen, w, r))
+					if err := s.Put(id, []byte(id)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					if body, _, err := s.Get(id); err != nil || string(body) != id {
+						t.Errorf("get after put: %q, %v", body, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if bad := s.VerifyAll(); len(bad) != 0 {
+			t.Fatalf("gen %d: verification failures %v", gen, bad)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final reopen sees every generation's artifacts.
+	s, err := Open(Config{Dir: dir, Now: func() int64 { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 3*4*10 {
+		t.Fatalf("final len = %d, want %d", got, 3*4*10)
+	}
+}

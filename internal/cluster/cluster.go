@@ -1,0 +1,273 @@
+// Package cluster is the in-process multi-worker test harness behind
+// the distributed-drsd chaos suite: N full drsd stacks (service +
+// persistent artifact store + shard proxy), each on its own real TCP
+// listener and store directory, driven by kill/restart primitives that
+// model the failures the design claims to survive.
+//
+//   - Kill is a crash, not a shutdown: connections are cut mid-response,
+//     in-flight jobs are force-canceled at their next epoch barrier, and
+//     the store is closed so nothing else lands in it. Whatever the index
+//     and object files held at that instant is what the restart sees.
+//   - Restart rebinds the same address and reopens the same store
+//     directory with a fresh service — the crash-recovery path of the
+//     artifact index (torn-tail truncation, orphan sweep) runs for real.
+//
+// The cluster's determinism contract makes chaos assertions sharp:
+// whatever subset of workers survives, a spec's bytes must equal the
+// single-process golden, because results are a pure function of the
+// spec and the store verifies digests on every read.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// Worker is one drsd stack inside the cluster.
+type Worker struct {
+	// URL is the worker's base URL; it survives kill/restart.
+	URL string
+	// Dir is the worker's persistent store directory.
+	Dir string
+
+	addr  string
+	alive bool
+	svc   *service.Service
+	store *artifact.Store
+	srv   *http.Server
+	done  chan struct{}
+}
+
+// Cluster drives N workers sharing one rendezvous router.
+type Cluster struct {
+	tb      testing.TB
+	cfg     service.Config
+	router  *shard.Router
+	workers []*Worker
+}
+
+// New starts an n-worker cluster. cfg seeds every worker's service
+// config (Store is per-worker and must be left nil; Runner may be set
+// for controlled tests, nil runs the real experiment engine). Each
+// worker gets its own listener on a kernel-assigned port and its own
+// store directory under a test temp dir.
+func New(tb testing.TB, n int, cfg service.Config) *Cluster {
+	tb.Helper()
+	if cfg.Store != nil {
+		tb.Fatal("cluster: cfg.Store is per-worker; leave it nil")
+	}
+	c := &Cluster{tb: tb, cfg: cfg}
+	var urls []string
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("cluster: listen: %v", err)
+		}
+		listeners[i] = ln
+		w := &Worker{
+			addr: ln.Addr().String(),
+			URL:  "http://" + ln.Addr().String(),
+			Dir:  tb.TempDir(),
+		}
+		c.workers = append(c.workers, w)
+		urls = append(urls, w.URL)
+	}
+	router, err := shard.NewRouter(urls)
+	if err != nil {
+		tb.Fatalf("cluster: router: %v", err)
+	}
+	c.router = router
+	for i, w := range c.workers {
+		c.start(w, listeners[i])
+	}
+	tb.Cleanup(c.KillAll)
+	return c
+}
+
+// start boots (or reboots) a worker on ln: reopen the store, build a
+// fresh service over it, wrap it in the shard proxy, serve.
+func (c *Cluster) start(w *Worker, ln net.Listener) {
+	c.tb.Helper()
+	store, err := artifact.Open(artifact.Config{Dir: w.Dir})
+	if err != nil {
+		c.tb.Fatalf("cluster: %s: open store: %v", w.URL, err)
+	}
+	cfg := c.cfg
+	cfg.Store = store
+	svc := service.New(cfg)
+	proxy, err := shard.Wrap(svc.Handler(), c.router, w.URL, nil)
+	if err != nil {
+		c.tb.Fatalf("cluster: %s: wrap: %v", w.URL, err)
+	}
+	w.store = store
+	w.svc = svc
+	w.srv = &http.Server{Handler: proxy}
+	w.done = make(chan struct{})
+	w.alive = true
+	go func(srv *http.Server, done chan struct{}) {
+		srv.Serve(ln)
+		close(done)
+	}(w.srv, w.done)
+}
+
+// Router returns the cluster's shard router (every client and worker
+// computes placement from the same worker set).
+func (c *Cluster) Router() *shard.Router { return c.router }
+
+// Worker returns worker i.
+func (c *Cluster) Worker(i int) *Worker { return c.workers[i] }
+
+// Workers returns the worker count.
+func (c *Cluster) Workers() int { return len(c.workers) }
+
+// IndexOf resolves a worker URL to its index.
+func (c *Cluster) IndexOf(url string) int {
+	for i, w := range c.workers {
+		if w.URL == url {
+			return i
+		}
+	}
+	c.tb.Fatalf("cluster: no worker %s", url)
+	return -1
+}
+
+// Client returns a read-through shard client over the cluster (no
+// local store).
+func (c *Cluster) Client() *shard.Client {
+	return &shard.Client{Router: c.router}
+}
+
+// Kill crashes worker i: sever every connection (clients blocked on
+// ?wait=1 see a transport error mid-response), force-cancel in-flight
+// jobs, close the store. The on-disk state is whatever the crash left.
+func (c *Cluster) Kill(i int) {
+	c.tb.Helper()
+	w := c.workers[i]
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	w.srv.Close()
+	<-w.done
+	// Clients (shard.Client, http.Post in tests) pool keep-alive
+	// connections to the dead worker; drop them so the next request
+	// dials fresh instead of failing on a stale socket.
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	// Force-drain: an already-expired context makes Drain cancel every
+	// in-flight job immediately — the crash analogue for goroutines that
+	// share this process.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.svc.Drain(expired)
+	w.store.Close()
+}
+
+// KillAll crashes every live worker (cleanup).
+func (c *Cluster) KillAll() {
+	for i := range c.workers {
+		c.Kill(i)
+	}
+}
+
+// Restart boots worker i again on the same address over the same store
+// directory. The index replay, torn-tail truncation and orphan sweep
+// run exactly as a restarted daemon's would.
+func (c *Cluster) Restart(i int) {
+	c.tb.Helper()
+	w := c.workers[i]
+	if w.alive {
+		c.tb.Fatalf("cluster: restart of live worker %s", w.URL)
+	}
+	ln := c.rebind(w.addr)
+	c.start(w, ln)
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// rebind listens on the worker's original address, retrying briefly —
+// the kernel can lag releasing a just-closed listening socket.
+func (c *Cluster) rebind(addr string) net.Listener {
+	c.tb.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.tb.Fatalf("cluster: rebinding %s: %v", addr, lastErr)
+	return nil
+}
+
+// WaitState polls worker i's status endpoint until the job reaches
+// state (or any terminal state), failing after timeout's worth of
+// 5ms polls. It returns the state observed.
+func (c *Cluster) WaitState(i int, id string, state service.State, timeout time.Duration) service.State {
+	c.tb.Helper()
+	w := c.workers[i]
+	const step = 5 * time.Millisecond
+	for n := int64(0); ; n++ {
+		var st struct {
+			State service.State `json:"state"`
+		}
+		resp, err := http.Get(w.URL + "/v1/jobs/" + id)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil {
+					json.Unmarshal(body, &st)
+				}
+			} else {
+				resp.Body.Close()
+			}
+		}
+		if st.State == state || st.State.Terminal() {
+			return st.State
+		}
+		if n > int64(timeout/step) {
+			c.tb.Fatalf("cluster: job %s on %s stuck in %q waiting for %q", id[:8], w.URL, st.State, state)
+		}
+		time.Sleep(step)
+	}
+}
+
+// Metric reads one metrics-registry value from worker i.
+func (c *Cluster) Metric(i int, path string) int64 {
+	c.tb.Helper()
+	w := c.workers[i]
+	snap := w.svc.Metrics()
+	v, ok := snap.Get(path)
+	if !ok {
+		c.tb.Fatalf("cluster: %s has no metric %q", w.URL, path)
+	}
+	return v
+}
+
+// SumMetric sums a metric over every live worker — the cluster-wide
+// counters the exactly-once assertions check.
+func (c *Cluster) SumMetric(path string) int64 {
+	c.tb.Helper()
+	var sum int64
+	for i, w := range c.workers {
+		if w.alive {
+			sum += c.Metric(i, path)
+		}
+	}
+	return sum
+}

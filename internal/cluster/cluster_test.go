@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// The chaos specs are deliberately tiny (the smoke-test scale): real
+// engine, real grids, but small enough that the whole suite runs
+// under -race in CI.
+const (
+	fig10Spec = `{"kind":"fig10","scene":"conference","tris":500,"width":48,"height":36,"bounces":2,"cmp_bounces":1}`
+	runSpec   = `{"kind":"run","scene":"conference","arch":"drs","bounce":1,"tris":500,"width":48,"height":36}`
+)
+
+func specID(t *testing.T, specJSON string) string {
+	t.Helper()
+	spec, err := service.DecodeSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.ID()
+}
+
+// singleProcessGolden runs the spec on a plain single-process service
+// (no store, no cluster) — the reference bytes every chaos outcome
+// must reproduce exactly.
+func singleProcessGolden(t *testing.T, specJSON string) []byte {
+	t.Helper()
+	s := service.New(service.Config{Workers: 2})
+	spec, err := service.DecodeSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := s.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != service.StateDone {
+		_, msg := j.Artifact()
+		t.Fatalf("golden run failed: %s (%s)", j.State(), msg)
+	}
+	golden, _ := j.Artifact()
+	ctx, cancel := contextWithTimeout(10 * time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	return golden
+}
+
+func postJob(t *testing.T, url, specJSON string, wait bool) (int, []byte) {
+	t.Helper()
+	u := url + "/v1/jobs"
+	if wait {
+		u += "?wait=1"
+	}
+	resp, err := http.Post(u, "application/json", bytes.NewReader([]byte(specJSON)))
+	if err != nil {
+		return 0, nil // transport error: the chaos suite treats it as such
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil
+	}
+	return resp.StatusCode, body
+}
+
+// TestCrashMidGridFailsOverByteIdentical: a worker is killed while
+// building a fig10 grid; the cluster still produces bytes identical to
+// the single-process golden, and after the crashed worker restarts the
+// artifact is served from the surviving stores.
+func TestCrashMidGridFailsOverByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs the real engine")
+	}
+	golden := singleProcessGolden(t, fig10Spec)
+	cl := New(t, 3, service.Config{Workers: 2})
+	id := specID(t, fig10Spec)
+	ownerIdx := cl.IndexOf(cl.Router().Owner(id))
+
+	// Start the build on its owner (detached, so the kill hits a job in
+	// flight, not a waiting client) and crash the owner once the grid
+	// is underway.
+	code, _ := postJob(t, cl.Worker(ownerIdx).URL, fig10Spec, false)
+	if code != http.StatusAccepted {
+		t.Fatalf("detached submit: HTTP %d", code)
+	}
+	cl.WaitState(ownerIdx, id, service.StateRunning, 30*time.Second)
+	cl.Kill(ownerIdx)
+
+	// A read-through client now resolves the same spec: the dead
+	// primary is skipped in failover order and a survivor recomputes.
+	ctx, cancel := contextWithTimeout(2 * time.Minute)
+	defer cancel()
+	res, err := cl.Client().Submit(ctx, []byte(fig10Spec))
+	if err != nil {
+		t.Fatalf("submit after crash: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("submit after crash: HTTP %d: %s", res.Status, res.Body)
+	}
+	if !bytes.Equal(res.Body, golden) {
+		t.Fatalf("failover result diverges from single-process golden (%d vs %d bytes)", len(res.Body), len(golden))
+	}
+
+	// Restart the crashed worker: its index replays whatever the crash
+	// left (possibly a torn tail), and the cluster still serves the
+	// artifact — from a surviving store, in owner order.
+	cl.Restart(ownerIdx)
+	res2, ok, err := cl.Client().FetchArtifact(ctx, id)
+	if err != nil || !ok {
+		t.Fatalf("fetch after restart: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(res2.Body, golden) {
+		t.Fatal("post-restart artifact diverges from golden")
+	}
+	// The restarted worker itself answers the spec byte-identically
+	// (store hit or recompute — indistinguishable by contract).
+	code, body := postJob(t, cl.Worker(ownerIdx).URL, fig10Spec, true)
+	if code != http.StatusOK || !bytes.Equal(body, golden) {
+		t.Fatalf("restarted owner: HTTP %d, bytes match %v", code, bytes.Equal(body, golden))
+	}
+}
+
+// TestBitFlipDetectedOnReadAndHealed: flipping one bit in a stored
+// artifact must never reach a client — the read detects the digest
+// mismatch, drops the entry, and the next submission recomputes
+// byte-identical output and re-stores it.
+func TestBitFlipDetectedOnReadAndHealed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs the real engine")
+	}
+	cl := New(t, 3, service.Config{Workers: 2})
+	id := specID(t, runSpec)
+	ownerIdx := cl.IndexOf(cl.Router().Owner(id))
+
+	ctx, cancel := contextWithTimeout(2 * time.Minute)
+	defer cancel()
+	first, err := cl.Client().Submit(ctx, []byte(runSpec))
+	if err != nil || first.Status != http.StatusOK {
+		t.Fatalf("seed submit: %v (HTTP %d)", err, first.Status)
+	}
+
+	// Crash the owner, corrupt the stored body behind its back, and
+	// restart it — the realistic shape of silent disk corruption: the
+	// process that returns has no in-memory copy to fall back on.
+	cl.Kill(ownerIdx)
+	path := filepath.Join(cl.Worker(ownerIdx).Dir, "objects", id[:2], id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading stored artifact: %v", err)
+	}
+	raw[len(raw)/3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cl.Restart(ownerIdx)
+
+	// The corrupt copy is never served: the fetch comes back a clean
+	// miss (owner dropped the entry; nobody else stored it).
+	if res, ok, err := cl.Client().FetchArtifact(ctx, id); err != nil {
+		t.Fatalf("fetch over corrupt store: %v", err)
+	} else if ok && bytes.Equal(res.Body, raw) {
+		t.Fatal("corrupted bytes were served")
+	} else if ok && !bytes.Equal(res.Body, first.Body) {
+		t.Fatal("fetch returned bytes that match neither original nor corruption")
+	}
+	if got := cl.Metric(ownerIdx, "store/corrupt"); got != 1 {
+		t.Fatalf("owner store/corrupt = %d, want 1", got)
+	}
+
+	// Resubmission heals: recompute, byte-identical, re-stored.
+	second, err := cl.Client().Submit(ctx, []byte(runSpec))
+	if err != nil || second.Status != http.StatusOK {
+		t.Fatalf("healing submit: %v (HTTP %d)", err, second.Status)
+	}
+	if !bytes.Equal(second.Body, first.Body) {
+		t.Fatal("recomputed artifact diverges from the original")
+	}
+	res, ok, err := cl.Client().FetchArtifact(ctx, id)
+	if err != nil || !ok || !bytes.Equal(res.Body, first.Body) {
+		t.Fatalf("store after healing: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRacedIdenticalSubmissionsBuildOnce: identical specs racing into
+// every worker at once collapse — via proxy routing to the owner and
+// the owner's singleflight — into exactly one execution cluster-wide,
+// with byte-identical responses for every submitter.
+func TestRacedIdenticalSubmissionsBuildOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs the real engine")
+	}
+	cl := New(t, 3, service.Config{Workers: 2})
+
+	const n = 8
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Spread the race across every entry point in the cluster.
+			codes[i], bodies[i] = postJob(t, cl.Worker(i%cl.Workers()).URL, fig10Spec, true)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("submitter %d: HTTP %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("submitter %d saw different bytes than submitter 0", i)
+		}
+	}
+	if started := cl.SumMetric("service/jobs_started"); started != 1 {
+		t.Fatalf("cluster-wide executions = %d for %d raced submissions, want exactly 1", started, n)
+	}
+	if hits := cl.SumMetric("service/artifact_hits"); hits != 0 {
+		t.Fatalf("artifact_hits = %d during the race, want 0 (singleflight, not store, must collapse it)", hits)
+	}
+}
+
+// TestRestartServesStoredArtifactWithoutRecompute: a worker that
+// crashed *after* committing an artifact serves it from its store on
+// restart — zero executions, identical bytes.
+func TestRestartServesStoredArtifactWithoutRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs the real engine")
+	}
+	cl := New(t, 2, service.Config{Workers: 1})
+	id := specID(t, runSpec)
+	ownerIdx := cl.IndexOf(cl.Router().Owner(id))
+
+	ctx, cancel := contextWithTimeout(2 * time.Minute)
+	defer cancel()
+	first, err := cl.Client().Submit(ctx, []byte(runSpec))
+	if err != nil || first.Status != http.StatusOK {
+		t.Fatalf("seed submit: %v", err)
+	}
+
+	cl.Kill(ownerIdx)
+	cl.Restart(ownerIdx)
+
+	code, body := postJob(t, cl.Worker(ownerIdx).URL, runSpec, true)
+	if code != http.StatusOK || !bytes.Equal(body, first.Body) {
+		t.Fatalf("restarted owner resubmission: HTTP %d, bytes match %v", code, bytes.Equal(body, first.Body))
+	}
+	if started := cl.Metric(ownerIdx, "service/jobs_started"); started != 0 {
+		t.Fatalf("restarted owner executed %d jobs, want 0 (store hit)", started)
+	}
+	if hits := cl.Metric(ownerIdx, "service/artifact_hits"); hits != 1 {
+		t.Fatalf("restarted owner artifact_hits = %d, want 1", hits)
+	}
+
+	// The result endpoint also serves the stored artifact even though
+	// the in-memory job registry of the process "restarted".
+	resp, err := http.Get(cl.Worker(ownerIdx).URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, first.Body) {
+		t.Fatalf("result after restart: HTTP %d", resp.StatusCode)
+	}
+}

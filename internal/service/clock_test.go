@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// virtualClock is the test Clock: time is a number it owns. After
+// auto-advances — the wait is recorded and the channel fires at once,
+// so backoff paths run at full speed while the test can still assert
+// exactly how long the service *would* have slept. Deadlines expire
+// when the virtual now passes them, via After's auto-advance or the
+// test calling Advance. No test using it ever sleeps.
+type virtualClock struct {
+	mu     sync.Mutex
+	now    time.Duration
+	waited time.Duration // total virtual time After was asked to wait
+	ctxs   []*virtualTimeoutCtx
+}
+
+func (c *virtualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.now += d
+	c.waited += d
+	expired := c.dueLocked()
+	c.mu.Unlock()
+	fire(expired)
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch
+}
+
+func (c *virtualClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	inner, cancel := context.WithCancel(parent)
+	c.mu.Lock()
+	v := &virtualTimeoutCtx{Context: inner, cancel: cancel, deadline: c.now + d}
+	c.ctxs = append(c.ctxs, v)
+	due := c.dueLocked()
+	c.mu.Unlock()
+	fire(due)
+	return v, cancel
+}
+
+// Advance moves virtual time forward and expires every deadline it
+// passes.
+func (c *virtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	due := c.dueLocked()
+	c.mu.Unlock()
+	fire(due)
+}
+
+// Waited reports the total duration After calls would have slept.
+func (c *virtualClock) Waited() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.waited
+}
+
+// dueLocked collects the contexts whose deadline has passed; expiry
+// runs outside the clock lock so a cancellation callback can never
+// deadlock back into the clock.
+func (c *virtualClock) dueLocked() []*virtualTimeoutCtx {
+	var due []*virtualTimeoutCtx
+	kept := c.ctxs[:0]
+	for _, v := range c.ctxs {
+		if c.now >= v.deadline {
+			due = append(due, v)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	c.ctxs = kept
+	return due
+}
+
+func fire(due []*virtualTimeoutCtx) {
+	for _, v := range due {
+		v.expire()
+	}
+}
+
+// virtualTimeoutCtx is a cancelable context whose Err reports
+// DeadlineExceeded once the virtual clock expires it — the same
+// observable contract as context.WithTimeout.
+type virtualTimeoutCtx struct {
+	context.Context
+	cancel   context.CancelFunc
+	deadline time.Duration
+
+	mu      sync.Mutex
+	expired bool
+}
+
+// expire marks the deadline as passed before closing Done, so any
+// goroutine woken by Done sees DeadlineExceeded, never bare Canceled.
+func (v *virtualTimeoutCtx) expire() {
+	v.mu.Lock()
+	v.expired = true
+	v.mu.Unlock()
+	v.cancel()
+}
+
+func (v *virtualTimeoutCtx) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.expired {
+		return context.DeadlineExceeded
+	}
+	return v.Context.Err()
+}
+
+func (v *virtualTimeoutCtx) Deadline() (time.Time, bool) {
+	// Virtual deadlines have no wall-clock expression; callers that
+	// want expiry must watch Done.
+	return time.Time{}, false
+}

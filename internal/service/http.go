@@ -2,9 +2,12 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/artifact"
 )
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -47,6 +50,7 @@ type submitResponse struct {
 //	GET  /v1/jobs/{id}         status
 //	GET  /v1/jobs/{id}/result  result artifact (or failure body)
 //	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /v1/artifacts/{id}    persistent store lookup (404 unknown, 410 evicted)
 //	GET  /healthz              liveness + drain state
 //	GET  /metrics              canonical sorted-JSON metrics snapshot
 func (s *Service) Handler() http.Handler {
@@ -56,6 +60,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -149,8 +154,15 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(w, r)
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
 	if !ok {
+		// Not in the in-memory registry — but a restarted daemon's
+		// persistent store may still hold the artifact. The two misses
+		// are distinct contract points: 404 means the job is unknown
+		// here, 410 means it existed and its artifact was evicted
+		// (resubmitting the spec recomputes the same bytes).
+		s.serveStored(w, id)
 		return
 	}
 	if st := j.State(); !st.Terminal() {
@@ -158,6 +170,34 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeOutcome(w, j)
+}
+
+// serveStored answers a result/artifact fetch from the persistent
+// store alone: 200 with the verbatim bytes, 410 Gone for an evicted
+// entry, 404 for everything else (unknown, corrupt-dropped, no store).
+func (s *Service) serveStored(w http.ResponseWriter, id string) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %s", id))
+		return
+	}
+	body, _, err := s.cfg.Store.Get(id)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	case errors.Is(err, artifact.ErrEvicted):
+		writeError(w, http.StatusGone, fmt.Errorf("service: artifact %s evicted from the store; resubmit the spec to recompute it", id))
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %s", id))
+	}
+}
+
+// handleArtifact is the shard peer read path: the persistent store and
+// nothing else — no execution, no in-memory jobs. Peers use the
+// 404/410 distinction the same way drsctl does.
+func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	s.serveStored(w, r.PathValue("id"))
 }
 
 // handleEvents streams a job's progress as server-sent events: every

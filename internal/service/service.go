@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
@@ -85,6 +86,16 @@ type Config struct {
 	// Runner overrides job execution (tests). nil = the built-in
 	// experiment runner over the shared workload cache.
 	Runner Runner
+	// Clock paces retry backoff and job deadlines (nil = the real
+	// clock). Tests inject a virtual clock so retry/deadline paths run
+	// without sleeping.
+	Clock Clock
+	// Store, when set, is the persistent artifact store: submissions
+	// whose content address is already stored are served from it
+	// without executing, completed jobs are written through to it, and
+	// GET /v1/artifacts/{id} exposes it to shard peers. Corrupt
+	// entries detected on read fall back to recomputation.
+	Store *artifact.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobEvents <= 0 {
 		c.MaxJobEvents = 1024
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
 	}
 	return c
 }
@@ -148,6 +162,9 @@ type Service struct {
 	retries          atomic.Int64
 	panics           atomic.Int64
 	running          atomic.Int64
+	artifactHits     atomic.Int64
+	artifactCorrupt  atomic.Int64
+	artifactPutFails atomic.Int64
 }
 
 // New starts a service: the worker pool is live on return and Drain is
@@ -198,6 +215,16 @@ func (s *Service) registerMetrics() {
 	s.reg.Gauge("service/panics_recovered", s.panics.Load)
 	s.reg.Gauge("service/workload_builds", func() int64 { return s.cache.Stats().Builds })
 	s.reg.Gauge("service/workload_hits", func() int64 { return s.cache.Stats().Hits })
+	if s.cfg.Store != nil {
+		// Submissions answered from the persistent store without
+		// executing, corrupt entries that fell back to recomputation,
+		// and write-through failures (the job still succeeds; only
+		// durability is lost).
+		s.reg.Gauge("service/artifact_hits", s.artifactHits.Load)
+		s.reg.Gauge("service/artifact_corrupt_recomputes", s.artifactCorrupt.Load)
+		s.reg.Gauge("service/artifact_put_failures", s.artifactPutFails.Load)
+		s.cfg.Store.Register(s.reg, "store")
+	}
 }
 
 // Metrics snapshots the service registry (canonical sorted JSON via
@@ -252,6 +279,27 @@ func (s *Service) Submit(spec *JobSpec, detached bool) (j *Job, dedup bool, err 
 		}
 		return prev, true, nil
 	}
+	// Persistent-store read-through: a stored artifact is provably the
+	// bytes an execution would produce (results are a pure function of
+	// the spec), so a hit becomes an already-done job without touching
+	// the queue. A corrupt entry has been dropped by Get and falls
+	// through to recomputation; eviction and absence just mean "run it".
+	if s.cfg.Store != nil {
+		body, _, err := s.cfg.Store.Get(id)
+		switch {
+		case err == nil:
+			s.artifactHits.Add(1)
+			j = newJob(s.baseCtx, id, spec, detached, s.cfg.MaxJobEvents)
+			j.finish(StateDone, body, "")
+			if _, seen := s.jobs[id]; !seen {
+				s.order = append(s.order, id)
+			}
+			s.jobs[id] = j
+			return j, true, nil
+		case errors.Is(err, artifact.ErrCorrupt):
+			s.artifactCorrupt.Add(1)
+		}
+	}
 	j = newJob(s.baseCtx, id, spec, detached, s.cfg.MaxJobEvents)
 	select {
 	case s.queue <- j:
@@ -288,15 +336,16 @@ func (s *Service) runJob(j *Job) {
 	if j.Spec.TimeoutMS > 0 {
 		timeout = time.Duration(j.Spec.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	ctx, cancel := s.cfg.Clock.WithTimeout(j.ctx, timeout)
 	defer cancel()
 
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		j.setRunning(attempt)
-		artifact, err := s.attempt(ctx, j)
+		out, err := s.attempt(ctx, j)
 		if err == nil {
-			j.finish(StateDone, artifact, "")
+			s.storeArtifact(j.ID, out)
+			j.finish(StateDone, out, "")
 			s.completed.Add(1)
 			return
 		}
@@ -307,12 +356,9 @@ func (s *Service) runJob(j *Job) {
 		s.retries.Add(1)
 		j.emitRetry(attempt, err)
 		backoff := s.cfg.RetryBaseDelay << (attempt - 1)
-		//drslint:allow wallclock -- retry backoff paces re-execution only; job results are a pure function of the spec
-		t := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
-			t.Stop()
-		case <-t.C:
+		case <-s.cfg.Clock.After(backoff):
 		}
 		if ctx.Err() != nil {
 			break
@@ -330,6 +376,24 @@ func (s *Service) runJob(j *Job) {
 	default:
 		j.finish(StateFailed, nil, lastErr.Error())
 		s.failed.Add(1)
+	}
+}
+
+// storeArtifact writes a completed job's bytes through to the
+// persistent store (before waiters wake, so a served result is already
+// durable) and applies the GC policy. Store failure never fails the
+// job — the bytes are still in memory and recomputable — it only costs
+// durability, and the counter makes that visible.
+func (s *Service) storeArtifact(id string, body []byte) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Put(id, body); err != nil {
+		s.artifactPutFails.Add(1)
+		return
+	}
+	if _, err := s.cfg.Store.GC(); err != nil {
+		s.artifactPutFails.Add(1)
 	}
 }
 

@@ -145,10 +145,13 @@ func TestDedupSingleflight(t *testing.T) {
 }
 
 // TestDeadlineExpiry: a job whose spec deadline passes fails with a
-// deadline error; the worker survives to run the next job.
+// deadline error; the worker survives to run the next job. The clock
+// is virtual: the test advances it past the deadline by hand and
+// never sleeps.
 func TestDeadlineExpiry(t *testing.T) {
+	clk := &virtualClock{}
 	br := newBlockingRunner(4)
-	s := New(Config{Workers: 1, QueueDepth: 4, Runner: br.run})
+	s := New(Config{Workers: 1, QueueDepth: 4, Runner: br.run, Clock: clk})
 	spec := testSpec(t, 0)
 	spec.TimeoutMS = 30
 
@@ -156,10 +159,12 @@ func TestDeadlineExpiry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	<-br.entered // the worker holds the job and its deadline is armed
+	clk.Advance(31 * time.Millisecond)
 	select {
 	case <-j.Done():
 	case <-time.After(5 * time.Second):
-		t.Fatal("job did not finish after its 30ms deadline")
+		t.Fatal("job did not finish after its virtual 30ms deadline passed")
 	}
 	if j.State() != StateFailed {
 		t.Fatalf("state %s, want failed", j.State())
@@ -180,8 +185,11 @@ func TestDeadlineExpiry(t *testing.T) {
 }
 
 // TestRetryTransient: transient failures retry with backoff up to
-// MaxAttempts; the third attempt succeeds.
+// MaxAttempts; the third attempt succeeds. Backoff runs on the
+// virtual clock, which records the exact doubling schedule the
+// service asked for while the test itself never sleeps.
 func TestRetryTransient(t *testing.T) {
+	clk := &virtualClock{}
 	var calls atomic.Int64
 	runner := func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
 		if calls.Add(1) < 3 {
@@ -189,7 +197,8 @@ func TestRetryTransient(t *testing.T) {
 		}
 		return []byte("ok"), nil
 	}
-	s := New(Config{Workers: 1, MaxAttempts: 3, RetryBaseDelay: time.Millisecond, Runner: runner})
+	base := 50 * time.Millisecond
+	s := New(Config{Workers: 1, MaxAttempts: 3, RetryBaseDelay: base, Runner: runner, Clock: clk})
 	j, _, err := s.Submit(testSpec(t, 0), true)
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +213,10 @@ func TestRetryTransient(t *testing.T) {
 	}
 	if st := j.Status(); st.Attempts != 3 {
 		t.Fatalf("attempts = %d, want 3", st.Attempts)
+	}
+	// Two backoffs happened — base then 2*base — in virtual time only.
+	if want := 3 * base; clk.Waited() != want {
+		t.Fatalf("virtual backoff total %v, want %v (base + doubled)", clk.Waited(), want)
 	}
 	drainAll(t, s)
 }

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// countingRunner returns spec-determined bytes and counts executions.
+func countingRunner(calls *atomic.Int64) Runner {
+	return func(ctx context.Context, spec *JobSpec, _ func(cycle, epochs int64)) ([]byte, error) {
+		calls.Add(1)
+		return []byte(`{"id":"` + spec.ID() + `"}`), nil
+	}
+}
+
+func openStore(t *testing.T, dir string) *artifact.Store {
+	t.Helper()
+	st, err := artifact.Open(artifact.Config{Dir: dir, Now: func() int64 { return 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestStoreWriteThroughAndRestartHit: a completed job lands in the
+// store; a fresh service over the same directory serves the spec from
+// the store without executing, byte-identically.
+func TestStoreWriteThroughAndRestartHit(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+
+	st1 := openStore(t, dir)
+	s1 := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st1})
+	spec := testSpec(t, 0)
+	j, _, err := s1.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	want, _ := j.Artifact()
+	if j.State() != StateDone || len(want) == 0 {
+		t.Fatalf("job state %s", j.State())
+	}
+	if body, _, err := st1.Get(spec.ID()); err != nil || !bytes.Equal(body, want) {
+		t.Fatalf("write-through missing: %v", err)
+	}
+	drainAll(t, s1)
+	st1.Close()
+
+	// "Restart": new store over the same dir, new service, empty job map.
+	st2 := openStore(t, dir)
+	s2 := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st2})
+	j2, dedup, err := s2.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dedup {
+		t.Fatal("store hit not reported as deduped")
+	}
+	<-j2.Done()
+	got, _ := j2.Artifact()
+	if j2.State() != StateDone || !bytes.Equal(got, want) {
+		t.Fatalf("restart hit: state %s, bytes equal %v", j2.State(), bytes.Equal(got, want))
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("runner ran %d times across restart, want 1 (store hit)", calls.Load())
+	}
+	if hits, _ := s2.Metrics().Get("service/artifact_hits"); hits != 1 {
+		t.Fatalf("artifact_hits = %d, want 1", hits)
+	}
+	drainAll(t, s2)
+}
+
+// TestStoreCorruptFallsBackToRecompute: a bit-flipped stored artifact
+// must never be served — the service recomputes and re-stores, and the
+// recomputed bytes match what the intact store held.
+func TestStoreCorruptFallsBackToRecompute(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+
+	st := openStore(t, dir)
+	s := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st})
+	spec := testSpec(t, 0)
+	j, _, err := s.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	want, _ := j.Artifact()
+	drainAll(t, s)
+	st.Close()
+
+	// Flip one bit in the stored body.
+	id := spec.ID()
+	path := filepath.Join(dir, "objects", id[:2], id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	s2 := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st2})
+	j2, _, err := s2.Submit(testSpec(t, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	got, _ := j2.Artifact()
+	if j2.State() != StateDone || !bytes.Equal(got, want) {
+		t.Fatalf("recompute after corruption: state %s, bytes match %v", j2.State(), bytes.Equal(got, want))
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("runner ran %d times, want 2 (original + corrupt recompute)", calls.Load())
+	}
+	if n, _ := s2.Metrics().Get("service/artifact_corrupt_recomputes"); n != 1 {
+		t.Fatalf("artifact_corrupt_recomputes = %d, want 1", n)
+	}
+	// The recompute re-stored a good copy.
+	if body, _, err := st2.Get(id); err != nil || !bytes.Equal(body, want) {
+		t.Fatalf("store after recompute: %v", err)
+	}
+	drainAll(t, s2)
+}
+
+// TestArtifactEndpointContract: GET /v1/artifacts/{id} and the result
+// fallback expose the 200 / 404 / 410 contract drsctl and shard peers
+// key off.
+func TestArtifactEndpointContract(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	st, err := artifact.Open(artifact.Config{
+		Dir: dir, MaxBytes: 1, // any artifact exceeds the cap, so GC evicts it
+		Now: func() int64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st})
+	defer drainAll(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	spec := testSpec(t, 0)
+	j, _, err := s.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	// The 1-byte cap evicted the artifact at write-through GC time:
+	// the store knows the id but no longer holds the bytes → 410.
+	if code, _ := get("/v1/artifacts/" + spec.ID()); code != http.StatusGone {
+		t.Fatalf("evicted artifact: code %d, want 410", code)
+	}
+	// Unknown id → 404 on both the artifact and result endpoints.
+	unknown := testSpec(t, 1).ID()
+	if code, _ := get("/v1/artifacts/" + unknown); code != http.StatusNotFound {
+		t.Fatalf("unknown artifact: code %d, want 404", code)
+	}
+	if code, _ := get("/v1/jobs/" + unknown + "/result"); code != http.StatusNotFound {
+		t.Fatalf("unknown result: code %d, want 404", code)
+	}
+	// The in-memory job still serves its result regardless of eviction.
+	if code, body := get("/v1/jobs/" + spec.ID() + "/result"); code != http.StatusOK {
+		t.Fatalf("live result: code %d body %s", code, body)
+	}
+
+	// Distinct error text for evicted vs unknown (drsctl matches on
+	// status, humans on the message).
+	_, body := get("/v1/artifacts/" + spec.ID())
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || !bytes.Contains([]byte(eb.Error), []byte("evicted")) {
+		t.Fatalf("eviction error body %q", body)
+	}
+}
+
+// TestResultServedFromStoreAfterRestart: the result endpoint of a
+// restarted daemon (empty job registry) serves stored artifacts.
+func TestResultServedFromStoreAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	st := openStore(t, dir)
+	s := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st})
+	spec := testSpec(t, 0)
+	j, _, err := s.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	want, _ := j.Artifact()
+	drainAll(t, s)
+	st.Close()
+
+	st2 := openStore(t, dir)
+	s2 := New(Config{Workers: 1, Runner: countingRunner(&calls), Store: st2})
+	defer drainAll(t, s2)
+	srv := httptest.NewServer(s2.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + spec.ID() + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("restarted result: code %d, bytes match %v", resp.StatusCode, bytes.Equal(buf.Bytes(), want))
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("result fetch triggered execution: %d calls", calls.Load())
+	}
+}

@@ -1,0 +1,184 @@
+// Read-through client. drsctl (and the chaos harness) resolve a job
+// in cost order: local artifact store first, then the owning shard's
+// store over HTTP, and only then an actual submission — walking the
+// id's owner order so a dead primary degrades to the next worker that
+// every other participant also agrees is next. Bit-determinism is
+// what makes this transparent: whichever source answers, the bytes
+// are the same.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/artifact"
+	"repro/internal/service"
+)
+
+// Source labels where a Result's bytes came from.
+const (
+	// SourceLocalStore is a hit in the client's own artifact store.
+	SourceLocalStore = "local-store"
+	// SourcePeerStore is a hit in an owning worker's store.
+	SourcePeerStore = "peer-store"
+	// SourceSubmit is a fresh (or deduped in-flight) execution.
+	SourceSubmit = "submit"
+)
+
+// Result is one resolved job artifact.
+type Result struct {
+	// ID is the job content address.
+	ID string
+	// Body is the response body (the artifact bytes on success).
+	Body []byte
+	// Status is the HTTP status of the resolving response (200 for
+	// store hits, including local ones).
+	Status int
+	// Source says which layer resolved it: SourceLocalStore,
+	// SourcePeerStore or SourceSubmit.
+	Source string
+	// Worker is the worker URL that answered ("" for local hits).
+	Worker string
+}
+
+// Client is the read-through shard client.
+type Client struct {
+	// Router orders workers per content address.
+	Router *Router
+	// Local, when set, is consulted before the network and updated
+	// with every artifact the client obtains.
+	Local *artifact.Store
+	// HTTP is the transport (nil = http.DefaultClient). Submissions
+	// block for job completion, so any Timeout must cover job runtime.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// localGet consults the local store; a corrupt entry has already been
+// dropped by Get, so every non-hit outcome means "keep resolving".
+func (c *Client) localGet(id string) ([]byte, bool) {
+	if c.Local == nil {
+		return nil, false
+	}
+	body, _, err := c.Local.Get(id)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// localPut caches an obtained artifact; failure to cache never fails
+// the request that obtained it.
+func (c *Client) localPut(id string, body []byte) {
+	if c.Local != nil {
+		c.Local.Put(id, body)
+	}
+}
+
+// FetchArtifact resolves an existing artifact without submitting:
+// local store, then each owner's GET /v1/artifacts/{id}. The boolean
+// reports whether anything was found; a false return with nil error
+// means every layer answered a clean miss (404 or 410).
+func (c *Client) FetchArtifact(ctx context.Context, id string) (*Result, bool, error) {
+	if body, ok := c.localGet(id); ok {
+		return &Result{ID: id, Body: body, Status: http.StatusOK, Source: SourceLocalStore}, true, nil
+	}
+	var errs []string
+	for _, w := range c.Router.Owners(id) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/v1/artifacts/"+id, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", w, err))
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", w, err))
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			c.localPut(id, body)
+			return &Result{ID: id, Body: body, Status: resp.StatusCode, Source: SourcePeerStore, Worker: w}, true, nil
+		}
+		// 404 (never stored) and 410 (evicted) are authoritative
+		// misses from this worker; other statuses are its problem, and
+		// either way the next owner might still have the bytes.
+	}
+	if len(errs) == len(c.Router.Workers()) && len(errs) > 0 {
+		return nil, false, fmt.Errorf("shard: no owner reachable for %s: %s", id[:12], strings.Join(errs, "; "))
+	}
+	return nil, false, nil
+}
+
+// retriableStatus reports whether a submission response is worth
+// retrying on the next owner: backpressure (429) and draining (503)
+// are properties of one worker, not of the job.
+func retriableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Submit resolves a job spec end to end: compute its content address,
+// read through the store layers, and finally submit (?wait=1) to the
+// id's owners in failover order. Transport errors and per-worker
+// backpressure move to the next owner; any other response — success
+// or a definitive failure like a 400 — is returned as-is.
+func (c *Client) Submit(ctx context.Context, specJSON []byte) (*Result, error) {
+	spec, err := service.DecodeSpec(specJSON)
+	if err != nil {
+		return nil, err
+	}
+	id := spec.ID()
+	if res, ok, err := c.FetchArtifact(ctx, id); err != nil {
+		return nil, err
+	} else if ok {
+		return res, nil
+	}
+	var errs []string
+	for _, w := range c.Router.Owners(id) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w+"/v1/jobs?wait=1", bytes.NewReader(specJSON))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", w, err))
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// The worker died mid-response (the chaos suite does this
+			// on purpose); the next owner recomputes the same bytes.
+			errs = append(errs, fmt.Sprintf("%s: %v", w, err))
+			continue
+		}
+		if retriableStatus(resp.StatusCode) {
+			errs = append(errs, fmt.Sprintf("%s: HTTP %d", w, resp.StatusCode))
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			c.localPut(id, body)
+		}
+		return &Result{ID: id, Body: body, Status: resp.StatusCode, Source: SourceSubmit, Worker: w}, nil
+	}
+	return nil, fmt.Errorf("shard: every owner failed for %s: %s", id[:12], strings.Join(errs, "; "))
+}
+
+// ErrNoWorkers is returned by helpers that need a non-empty router.
+var ErrNoWorkers = errors.New("shard: no workers configured")

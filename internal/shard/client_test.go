@@ -1,0 +1,456 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/service"
+)
+
+// fakeWorker is a minimal drsd stand-in: an artifact map served on
+// GET /v1/artifacts/{id} and a scripted response for POST /v1/jobs.
+type fakeWorker struct {
+	t         *testing.T
+	artifacts map[string][]byte
+	submit    func(w http.ResponseWriter, r *http.Request)
+
+	gets    atomic.Int64
+	submits atomic.Int64
+	srv     *httptest.Server
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	fw := &fakeWorker{t: t, artifacts: map[string][]byte{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/artifacts/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fw.gets.Add(1)
+		body, ok := fw.artifacts[r.PathValue("id")]
+		if !ok {
+			http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		fw.submits.Add(1)
+		if fw.submit == nil {
+			http.Error(w, `{"error":"no submit handler"}`, http.StatusInternalServerError)
+			return
+		}
+		fw.submit(w, r)
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+func (fw *fakeWorker) url() string { return fw.srv.URL }
+
+// testSpecJSON is a valid spec whose id the tests resolve.
+func testSpecJSON(t *testing.T) ([]byte, string) {
+	t.Helper()
+	raw := []byte(`{"kind":"run","scene":"conference","arch":"drs","tris":500,"width":32,"height":24}`)
+	spec, err := service.DecodeSpec(raw)
+	if err != nil {
+		t.Fatalf("test spec invalid: %v", err)
+	}
+	return raw, spec.ID()
+}
+
+func routerOver(t *testing.T, workers ...*fakeWorker) *Router {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.url()
+	}
+	r, err := NewRouter(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testStore(t *testing.T) *artifact.Store {
+	t.Helper()
+	s, err := artifact.Open(artifact.Config{Dir: t.TempDir(), Now: func() int64 { return 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestClientLocalStoreHit(t *testing.T) {
+	fw := newFakeWorker(t)
+	_, id := testSpecJSON(t)
+	store := testStore(t)
+	if err := store.Put(id, []byte("cached-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Router: routerOver(t, fw), Local: store}
+	res, ok, err := c.FetchArtifact(context.Background(), id)
+	if err != nil || !ok {
+		t.Fatalf("fetch: ok=%v err=%v", ok, err)
+	}
+	if res.Source != SourceLocalStore || string(res.Body) != "cached-bytes" {
+		t.Fatalf("got source=%s body=%q", res.Source, res.Body)
+	}
+	if fw.gets.Load() != 0 {
+		t.Fatalf("local hit still made %d network gets", fw.gets.Load())
+	}
+}
+
+func TestClientPeerStoreHitPopulatesLocal(t *testing.T) {
+	fw := newFakeWorker(t)
+	_, id := testSpecJSON(t)
+	fw.artifacts[id] = []byte("peer-bytes")
+	store := testStore(t)
+	c := &Client{Router: routerOver(t, fw), Local: store}
+
+	res, ok, err := c.FetchArtifact(context.Background(), id)
+	if err != nil || !ok {
+		t.Fatalf("fetch: ok=%v err=%v", ok, err)
+	}
+	if res.Source != SourcePeerStore || res.Worker != fw.url() {
+		t.Fatalf("got source=%s worker=%s", res.Source, res.Worker)
+	}
+	// The hit is now cached: a second fetch is local and networkless.
+	before := fw.gets.Load()
+	res2, ok, err := c.FetchArtifact(context.Background(), id)
+	if err != nil || !ok || res2.Source != SourceLocalStore {
+		t.Fatalf("second fetch: ok=%v err=%v source=%s", ok, err, res2.Source)
+	}
+	if fw.gets.Load() != before {
+		t.Fatal("second fetch hit the network despite local cache")
+	}
+}
+
+func TestClientCleanMissIsNotAnError(t *testing.T) {
+	fw := newFakeWorker(t)
+	_, id := testSpecJSON(t)
+	c := &Client{Router: routerOver(t, fw)}
+	res, ok, err := c.FetchArtifact(context.Background(), id)
+	if err != nil {
+		t.Fatalf("clean miss errored: %v", err)
+	}
+	if ok || res != nil {
+		t.Fatalf("clean miss reported a hit: %+v", res)
+	}
+}
+
+func TestClientFetchAllOwnersDown(t *testing.T) {
+	// A router over a closed server: transport errors everywhere.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	r, err := NewRouter([]string{url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, id := testSpecJSON(t)
+	c := &Client{Router: r}
+	if _, ok, err := c.FetchArtifact(context.Background(), id); err == nil || ok {
+		t.Fatalf("all-owners-down fetch: ok=%v err=%v, want error", ok, err)
+	}
+}
+
+func TestClientSubmitFailsOverToNextOwner(t *testing.T) {
+	spec, id := testSpecJSON(t)
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	for _, fw := range []*fakeWorker{w1, w2} {
+		fw.submit = func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("artifact-bytes"))
+		}
+	}
+	router := routerOver(t, w1, w2)
+	owners := router.Owners(id)
+
+	// Kill the primary owner; submission must land on the failover.
+	primary, failover := w1, w2
+	if owners[0] == w2.url() {
+		primary, failover = w2, w1
+	}
+	primary.srv.Close()
+
+	store := testStore(t)
+	c := &Client{Router: router, Local: store}
+	res, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Source != SourceSubmit || res.Worker != failover.url() || res.Status != http.StatusOK {
+		t.Fatalf("got source=%s worker=%s status=%d, want submit on %s", res.Source, res.Worker, res.Status, failover.url())
+	}
+	if string(res.Body) != "artifact-bytes" {
+		t.Fatalf("body %q", res.Body)
+	}
+	// Success is cached locally under the spec's content address.
+	if body, _, err := store.Get(id); err != nil || string(body) != "artifact-bytes" {
+		t.Fatalf("local cache after submit: %q, %v", body, err)
+	}
+}
+
+func TestClientSubmitRetriesBackpressure(t *testing.T) {
+	spec, id := testSpecJSON(t)
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	router := routerOver(t, w1, w2)
+	owners := router.Owners(id)
+	byURL := map[string]*fakeWorker{w1.url(): w1, w2.url(): w2}
+
+	// Primary answers 429 (queue full); failover serves the job.
+	byURL[owners[0]].submit = func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}
+	byURL[owners[1]].submit = func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok-bytes"))
+	}
+	c := &Client{Router: router}
+	res, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Worker != owners[1] || string(res.Body) != "ok-bytes" {
+		t.Fatalf("got worker=%s body=%q, want failover %s", res.Worker, res.Body, owners[1])
+	}
+}
+
+func TestClientSubmitDefinitiveErrorIsAuthoritative(t *testing.T) {
+	spec, id := testSpecJSON(t)
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	router := routerOver(t, w1, w2)
+	owners := router.Owners(id)
+	byURL := map[string]*fakeWorker{w1.url(): w1, w2.url(): w2}
+
+	byURL[owners[0]].submit = func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"failed"}`, http.StatusUnprocessableEntity)
+	}
+	byURL[owners[1]].submit = func(w http.ResponseWriter, r *http.Request) {
+		t.Error("definitive failure leaked to the failover owner")
+	}
+	c := &Client{Router: router}
+	res, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Status != http.StatusUnprocessableEntity || res.Worker != owners[0] {
+		t.Fatalf("got status=%d worker=%s", res.Status, res.Worker)
+	}
+}
+
+func TestClientSubmitInvalidSpec(t *testing.T) {
+	c := &Client{Router: routerOver(t, newFakeWorker(t))}
+	if _, err := c.Submit(context.Background(), []byte(`{"kind":"nope"}`)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestProxyForwardsToOwnerAndMarksHeader(t *testing.T) {
+	spec, id := testSpecJSON(t)
+
+	// The "owner" worker records whether it saw the forwarded marker.
+	var sawForwarded atomic.Bool
+	var ownerBody atomic.Value
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			sawForwarded.Store(r.Header.Get(ForwardedHeader) != "")
+			b := make([]byte, r.ContentLength)
+			r.Body.Read(b)
+			ownerBody.Store(string(b))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"served-by":"owner"}`))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer owner.Close()
+
+	localServed := false
+	local := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		localServed = true
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"served-by":"local"}`))
+	})
+
+	// Build a two-worker router where the other worker owns the id;
+	// self is a distinct name so forwarding must occur.
+	self := "http://self.invalid"
+	router, err := NewRouter([]string{self, owner.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Wrap(local, router, self, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs?wait=1", bytes.NewReader(spec))
+	p.ServeHTTP(rec, req)
+
+	wantLocal := router.Owner(id) == self
+	if wantLocal {
+		if !localServed {
+			t.Fatal("self owns the id but the proxy did not serve locally")
+		}
+		return
+	}
+	if localServed {
+		t.Fatal("proxy served locally for a peer-owned id")
+	}
+	if rec.Code != http.StatusOK || rec.Body.String() != `{"served-by":"owner"}` {
+		t.Fatalf("forwarded response: %d %q", rec.Code, rec.Body.String())
+	}
+	if !sawForwarded.Load() {
+		t.Fatal("forwarded request missing the forwarded header")
+	}
+	if ownerBody.Load().(string) != string(spec) {
+		t.Fatalf("owner received body %q, want the original spec", ownerBody.Load())
+	}
+}
+
+func TestProxyForwardedRequestStaysLocal(t *testing.T) {
+	spec, _ := testSpecJSON(t)
+	localServed := false
+	local := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		localServed = true
+		w.WriteHeader(http.StatusOK)
+	})
+	self := "http://self.invalid"
+	router, err := NewRouter([]string{self, "http://peer.invalid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Wrap(local, router, self, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(spec))
+	req.Header.Set(ForwardedHeader, "http://peer.invalid")
+	p.ServeHTTP(rec, req)
+	if !localServed {
+		t.Fatal("forwarded submission was not served locally (loop risk)")
+	}
+}
+
+func TestProxyInvalidSpecServedLocally(t *testing.T) {
+	localServed := false
+	local := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		localServed = true
+		http.Error(w, `{"error":"bad"}`, http.StatusBadRequest)
+	})
+	self := "http://self.invalid"
+	router, err := NewRouter([]string{self, "http://peer.invalid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Wrap(local, router, self, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader([]byte(`{"kind":`)))
+	p.ServeHTTP(rec, req)
+	if !localServed || rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: local=%v code=%d", localServed, rec.Code)
+	}
+}
+
+func TestProxyFailoverWhenOwnerUnreachable(t *testing.T) {
+	spec, id := testSpecJSON(t)
+	localServed := false
+	local := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		localServed = true
+		body := make([]byte, r.ContentLength)
+		r.Body.Read(body)
+		if string(body) != string(spec) {
+			t.Errorf("local handler saw body %q", body)
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	// The peer is unreachable (closed server). Whichever of the two
+	// owns the id, the submission must end up served locally — either
+	// directly (self owns it) or by failover past the dead peer.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	self := "http://self.invalid"
+	router, err := NewRouter([]string{self, deadURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Wrap(local, router, self, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(spec))
+	p.ServeHTTP(rec, req)
+	if !localServed {
+		t.Fatalf("id %s (owner %s): submission with dead peer never reached the local handler", id[:8], router.Owner(id))
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+}
+
+func TestProxyShardEndpoint(t *testing.T) {
+	self := "http://self.invalid"
+	peer := "http://peer.invalid"
+	router, err := NewRouter([]string{self, peer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Wrap(http.NotFoundHandler(), router, self, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, id := testSpecJSON(t)
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/shard/"+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	var info struct {
+		ID     string   `json:"id"`
+		Owners []string `json:"owners"`
+		Self   string   `json:"self"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != id || info.Self != self || len(info.Owners) != 2 {
+		t.Fatalf("shard info %+v", info)
+	}
+	if fmt.Sprint(info.Owners) != fmt.Sprint(router.Owners(id)) {
+		t.Fatalf("owners %v != router %v", info.Owners, router.Owners(id))
+	}
+
+	// Malformed id is a 400.
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/shard/short", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("short id: code %d", rec.Code)
+	}
+}
+
+func TestWrapRejectsUnknownSelf(t *testing.T) {
+	router, err := NewRouter([]string{"http://a.invalid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wrap(http.NotFoundHandler(), router, "http://b.invalid", nil); err == nil {
+		t.Fatal("Wrap accepted a self outside the worker set")
+	}
+}

@@ -1,0 +1,167 @@
+// Server-side routing. Wrap turns one drsd's HTTP handler into a
+// cluster participant: submissions for content addresses another
+// worker owns are forwarded to that owner (walking the failover order
+// on transport errors), so no matter which worker a client talks to,
+// identical specs converge on one process — the in-memory
+// singleflight and the persistent store then collapse them to one
+// execution cluster-wide.
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// ForwardedHeader marks a proxied submission. A forwarded request is
+// always served locally — the owner computed by the forwarding worker
+// and by this worker agree (same router inputs), and the header makes
+// that assumption safe against configuration skew: a cluster with
+// disagreeing peer lists degrades to extra hops' worth of local
+// execution, never a forwarding loop.
+const ForwardedHeader = "X-Drsd-Forwarded"
+
+// Proxy wraps a local drsd handler with shard routing.
+type Proxy struct {
+	local  http.Handler
+	router *Router
+	self   string
+	hc     *http.Client
+}
+
+// Wrap builds the routing layer: local is the service's own handler,
+// router spans every worker (including this one), and self is this
+// worker's name in the router's worker set. hc transports forwarded
+// requests (nil = http.DefaultClient; it must not time out faster
+// than jobs run).
+func Wrap(local http.Handler, router *Router, self string, hc *http.Client) (*Proxy, error) {
+	found := false
+	for _, w := range router.Workers() {
+		if w == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("shard: self %q is not in the worker set %v", self, router.Workers())
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Proxy{local: local, router: router, self: self, hc: hc}, nil
+}
+
+// ServeHTTP routes one request: shard lookups answered here,
+// submissions routed to their owner, everything else local.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/shard/"):
+		p.handleShard(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+		p.handleSubmit(w, r)
+	default:
+		p.local.ServeHTTP(w, r)
+	}
+}
+
+// shardInfo is the JSON body of GET /v1/shard/{id}: the id's owner
+// order and which member this worker is. Clients and scripts use it to
+// find (or avoid) the worker a key lives on.
+type shardInfo struct {
+	ID     string   `json:"id"`
+	Owners []string `json:"owners"`
+	Self   string   `json:"self"`
+}
+
+func (p *Proxy) handleShard(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/shard/")
+	if len(id) != 64 {
+		http.Error(w, `{"error":"shard: id must be a hex sha-256"}`, http.StatusBadRequest)
+		return
+	}
+	data, err := json.Marshal(shardInfo{ID: id, Owners: p.router.Owners(id), Self: p.self})
+	if err != nil {
+		http.Error(w, `{"error":"shard: encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(data, '\n'))
+}
+
+// handleSubmit routes one submission. The body is read up front (it is
+// bounded by the spec size limit) so it can be both inspected for the
+// content address and replayed to whichever handler wins.
+func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, service.MaxSpecBytes+1))
+	if err != nil {
+		http.Error(w, `{"error":"shard: reading body"}`, http.StatusBadRequest)
+		return
+	}
+	serveLocal := func() {
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		p.local.ServeHTTP(w, r2)
+	}
+	if r.Header.Get(ForwardedHeader) != "" {
+		serveLocal()
+		return
+	}
+	spec, err := service.DecodeSpec(body)
+	if err != nil {
+		// Invalid specs are rejected locally — the local handler
+		// produces the canonical 400 (and counts it).
+		serveLocal()
+		return
+	}
+	for _, owner := range p.router.Owners(spec.ID()) {
+		if owner == p.self {
+			serveLocal()
+			return
+		}
+		if p.forward(w, r, owner, body) {
+			return
+		}
+		// Transport error: the owner is down; the next one in the
+		// failover order takes over.
+	}
+	// Unreachable (self is always in the owner order), but serve
+	// locally rather than 500 if the router ever changes that.
+	serveLocal()
+}
+
+// forward relays the submission to owner, streaming the response back.
+// It reports true when the owner produced a response — any response,
+// including an error status, is authoritative — and false on a
+// transport failure, which sends the caller to the next owner.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	url := owner + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, p.self)
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Cache-Control"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}

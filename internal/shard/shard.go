@@ -1,0 +1,110 @@
+// Package shard routes content addresses onto a set of drsd workers.
+//
+// The router is rendezvous hashing (highest-random-weight): every
+// (worker, id) pair gets a score — the first 8 bytes of
+// SHA-256(worker || 0x00 || id) — and an id's owner order is its
+// workers sorted by descending score. The properties the cluster
+// leans on, each pinned by a property test:
+//
+//   - Total: every well-formed id has a full owner ordering over the
+//     worker set; nothing ever fails to place.
+//   - Deterministic: the ordering is a pure function of (workers, id).
+//     Two routers built from the same worker set — on different
+//     machines, in different processes, in either order — agree on
+//     every placement. That agreement is what makes cross-node
+//     singleflight work without any coordination service: every
+//     client and every worker independently computes the same owner.
+//   - Minimally disruptive: removing a worker reassigns only the ids
+//     that worker owned; every other id keeps its owner. (Scores for
+//     surviving workers are unchanged, so the argmax can only change
+//     when the old argmax left.)
+//   - Failover is the same ordering, continued: the owner order for an
+//     id is its failover order, so when the primary is unreachable
+//     every participant independently agrees on who is next.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Router maps content addresses onto a fixed worker set.
+type Router struct {
+	workers []string // canonical (sorted, deduped) worker names
+}
+
+// NewRouter builds a router over the given worker names (base URLs in
+// the daemon; any non-empty strings in tests). Order does not matter —
+// the set is canonicalized — but the set must be non-empty and free of
+// duplicates and empty names.
+func NewRouter(workers []string) (*Router, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("shard: empty worker set")
+	}
+	seen := make(map[string]bool, len(workers))
+	canon := make([]string, 0, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return nil, errors.New("shard: empty worker name")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("shard: duplicate worker %q", w)
+		}
+		seen[w] = true
+		canon = append(canon, w)
+	}
+	sort.Strings(canon)
+	return &Router{workers: canon}, nil
+}
+
+// Workers returns the canonical worker set.
+func (r *Router) Workers() []string {
+	out := make([]string, len(r.workers))
+	copy(out, r.workers)
+	return out
+}
+
+// score is the rendezvous weight of (worker, id): the big-endian
+// uint64 prefix of SHA-256(worker || 0x00 || id). The separator keeps
+// ("ab","c") and ("a","bc") from colliding.
+func score(worker, id string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(worker))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owners returns every worker in descending preference order for id:
+// element 0 is the owner, element 1 the first failover, and so on.
+// Ties (cryptographically negligible, but the ordering must be total)
+// break toward the lexically smaller worker name.
+func (r *Router) Owners(id string) []string {
+	type ranked struct {
+		w string
+		s uint64
+	}
+	rs := make([]ranked, len(r.workers))
+	for i, w := range r.workers {
+		rs[i] = ranked{w, score(w, id)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].s != rs[j].s {
+			return rs[i].s > rs[j].s
+		}
+		return rs[i].w < rs[j].w
+	})
+	out := make([]string, len(rs))
+	for i, x := range rs {
+		out[i] = x.w
+	}
+	return out
+}
+
+// Owner returns the primary owner of id.
+func (r *Router) Owner(id string) string { return r.Owners(id)[0] }

@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// testIDs returns n deterministic content addresses (the generator is
+// explicitly seeded — placement properties must be reproducible).
+func testIDs(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]string, n)
+	for i := range ids {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d-%d", i, rng.Int63())))
+		ids[i] = hex.EncodeToString(sum[:])
+	}
+	return ids
+}
+
+func workerSet(n int) []string {
+	ws := make([]string, n)
+	for i := range ws {
+		ws[i] = fmt.Sprintf("http://worker-%c.example:83%02d", 'a'+i, i)
+	}
+	return ws
+}
+
+func TestNewRouterRejections(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{},
+		{""},
+		{"w1", "w1"},
+		{"w1", ""},
+	}
+	for _, ws := range cases {
+		if _, err := NewRouter(ws); err == nil {
+			t.Errorf("NewRouter(%q) accepted an invalid worker set", ws)
+		}
+	}
+	if _, err := NewRouter([]string{"w1"}); err != nil {
+		t.Fatalf("singleton set rejected: %v", err)
+	}
+}
+
+// TestPlacementTotal: every id receives a complete owner ordering — a
+// permutation of the worker set, never missing or repeating a worker.
+func TestPlacementTotal(t *testing.T) {
+	workers := workerSet(5)
+	r, err := NewRouter(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), workers...)
+	sort.Strings(want)
+	for _, id := range testIDs(500) {
+		owners := r.Owners(id)
+		if len(owners) != len(workers) {
+			t.Fatalf("id %s placed on %d of %d workers", id[:8], len(owners), len(workers))
+		}
+		got := append([]string(nil), owners...)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("id %s owner order %v is not a permutation of the worker set", id[:8], owners)
+		}
+	}
+}
+
+// TestPlacementDeterministic: placement is a pure function of
+// (workers, id) — indifferent to construction order and to which
+// router instance computes it.
+func TestPlacementDeterministic(t *testing.T) {
+	workers := workerSet(7)
+	r1, err := NewRouter(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same set, reversed construction order.
+	rev := make([]string, len(workers))
+	for i, w := range workers {
+		rev[len(workers)-1-i] = w
+	}
+	r2, err := NewRouter(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range testIDs(500) {
+		a, b := r1.Owners(id), r2.Owners(id)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("id %s: order-dependent placement %v vs %v", id[:8], a, b)
+		}
+		if !reflect.DeepEqual(a, r1.Owners(id)) {
+			t.Fatalf("id %s: repeated call diverged", id[:8])
+		}
+	}
+}
+
+// TestPlacementMinimalDisruption: removing one of N workers remaps
+// only that worker's keys. The differential placement snapshot —
+// owner-per-id before and after — shows every other id keeping its
+// owner, and the displaced ids landing exactly on their recorded
+// first-failover worker.
+func TestPlacementMinimalDisruption(t *testing.T) {
+	workers := workerSet(6)
+	full, err := NewRouter(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := testIDs(2000)
+
+	// Snapshot before: primary owner and failover per id.
+	before := make(map[string][]string, len(ids))
+	perWorker := make(map[string]int)
+	for _, id := range ids {
+		owners := full.Owners(id)
+		before[id] = owners
+		perWorker[owners[0]]++
+	}
+	// Sanity: with 6 workers and 2000 keys every worker owns some.
+	for _, w := range workers {
+		if perWorker[w] == 0 {
+			t.Fatalf("worker %s owns no keys out of %d — rendezvous badly skewed", w, len(ids))
+		}
+	}
+
+	for _, victim := range workers {
+		var survivors []string
+		for _, w := range workers {
+			if w != victim {
+				survivors = append(survivors, w)
+			}
+		}
+		reduced, err := NewRouter(survivors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, id := range ids {
+			prev := before[id]
+			now := reduced.Owner(id)
+			if prev[0] != victim {
+				// Not the victim's key: its owner must not change.
+				if now != prev[0] {
+					t.Fatalf("removing %s moved id %s from %s to %s", victim, id[:8], prev[0], now)
+				}
+				continue
+			}
+			moved++
+			// The victim's keys land exactly on the failover the full
+			// router had already advertised.
+			if now != prev[1] {
+				t.Fatalf("id %s remapped to %s, want advertised failover %s", id[:8], now, prev[1])
+			}
+		}
+		if moved != perWorker[victim] {
+			t.Fatalf("removing %s moved %d keys, want exactly its %d", victim, moved, perWorker[victim])
+		}
+	}
+}
+
+// TestFailoverOrderConsistency: the tail of an id's owner order (its
+// failover chain) is itself the owner order of the reduced worker set,
+// so repeated failures keep every participant in agreement.
+func TestFailoverOrderConsistency(t *testing.T) {
+	workers := workerSet(5)
+	full, err := NewRouter(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range testIDs(200) {
+		owners := full.Owners(id)
+		for cut := 1; cut < len(workers); cut++ {
+			reduced, err := NewRouter(owners[cut:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reduced.Owners(id), owners[cut:]) {
+				t.Fatalf("id %s: failover tail %v disagrees with reduced-set order %v",
+					id[:8], owners[cut:], reduced.Owners(id))
+			}
+		}
+	}
+}
+
+// TestScoreSeparator: the worker/id concatenation is delimited, so
+// shifting bytes between the two cannot alias a score.
+func TestScoreSeparator(t *testing.T) {
+	if score("ab", "c") == score("a", "bc") {
+		t.Fatal("score collides across the worker/id boundary")
+	}
+}
+
+// TestPlacementGoldenSnapshot pins a handful of placements so an
+// accidental change to the hash (a different digest, a different
+// prefix width, a different tie-break) cannot slip in as a silent
+// cluster-wide remap: every stored artifact would change owners.
+func TestPlacementGoldenSnapshot(t *testing.T) {
+	r, err := NewRouter([]string{"http://a:1", "http://b:2", "http://c:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		idFor("spec-1"): "http://a:1",
+		idFor("spec-2"): "http://a:1",
+		idFor("spec-3"): "http://c:3",
+		idFor("spec-4"): "http://c:3",
+	}
+	for id, want := range golden {
+		if got := r.Owner(id); got != want {
+			t.Errorf("Owner(%s) = %s, want %s (rendezvous function changed?)", id[:8], got, want)
+		}
+	}
+}
+
+func idFor(tag string) string {
+	sum := sha256.Sum256([]byte(tag))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,199 @@
+#!/bin/sh
+# End-to-end smoke test of the distributed drsd cluster (DESIGN.md §12):
+#
+#   1. build drsd + drsctl,
+#   2. start 3 workers, each with a persistent store and the full peer
+#      list, and wait until all are healthy,
+#   3. compute the fig10 spec's content address locally (drsctl id) and
+#      its owner order (GET /v1/shard/{id}),
+#   4. fire 8 concurrent identical read-through submissions, then
+#      SIGKILL the job's primary owner mid-grid: every client fails over
+#      down the owner order and the surviving owner's singleflight
+#      collapses the stampede,
+#   5. assert: all 8 clients got byte-identical bodies, the survivors
+#      executed the job exactly once between them, and the artifact is
+#      now served from a surviving store (drsctl artifact),
+#   6. restart the killed worker over its old store dir (index replay +
+#      orphan sweep run for real) and resubmit through it — byte-identical,
+#   7. SIGTERM everything and assert clean drains.
+#
+# Plain POSIX sh + grep/sed; curl only for the shard-placement lookup.
+# Exits nonzero on any violation.
+set -eu
+
+BASE_PORT="${DRSD_CLUSTER_PORT:-8331}"
+CLIENTS=8
+WORK=$(mktemp -d)
+PIDS=""
+trap 'for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/drsd" ./cmd/drsd
+go build -o "$WORK/drsctl" ./cmd/drsctl
+
+PEERS=""
+i=0
+while [ "$i" -lt 3 ]; do
+    PEERS="${PEERS:+$PEERS,}http://127.0.0.1:$((BASE_PORT + i))"
+    i=$((i + 1))
+done
+
+start_worker() { # $1 = index
+    port=$((BASE_PORT + $1))
+    mkdir -p "$WORK/store.$1"
+    "$WORK/drsd" -addr "127.0.0.1:$port" -workers 2 -queue 16 -drain 60s \
+        -store "$WORK/store.$1" \
+        -peers "$PEERS" -self "http://127.0.0.1:$port" \
+        >>"$WORK/drsd.$1.log" 2>&1 &
+    eval "WPID_$1=\$!"
+    PIDS="$PIDS $!"
+}
+
+wait_healthy() { # $1 = index
+    j=0
+    until "$WORK/drsctl" -addr "http://127.0.0.1:$((BASE_PORT + $1))" health >/dev/null 2>&1; do
+        j=$((j + 1))
+        if [ "$j" -gt 100 ]; then
+            echo "worker $1 never became healthy" >&2
+            cat "$WORK/drsd.$1.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== start 3 workers with stores + shard routing"
+i=0
+while [ "$i" -lt 3 ]; do
+    start_worker "$i"
+    i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 3 ]; do
+    wait_healthy "$i"
+    i=$((i + 1))
+done
+
+SPEC_FLAGS="-kind fig10 -scene conference -tris 500 -w 48 -h 36 -bounces 2 -cmp-bounces 1"
+
+echo "== resolve content address and owner"
+# shellcheck disable=SC2086
+JOB_ID=$("$WORK/drsctl" id $SPEC_FLAGS)
+curl -sf "http://127.0.0.1:$BASE_PORT/v1/shard/$JOB_ID" >"$WORK/shard.json"
+OWNER_URL=$(sed 's/.*"owners":\["\([^"]*\)".*/\1/' "$WORK/shard.json")
+VICTIM=""
+i=0
+while [ "$i" -lt 3 ]; do
+    if [ "http://127.0.0.1:$((BASE_PORT + i))" = "$OWNER_URL" ]; then
+        VICTIM="$i"
+    fi
+    i=$((i + 1))
+done
+if [ -z "$VICTIM" ]; then
+    echo "owner $OWNER_URL is not one of our workers:" >&2
+    cat "$WORK/shard.json" >&2
+    exit 1
+fi
+echo "   id: $JOB_ID"
+echo "   owner (victim): worker $VICTIM ($OWNER_URL)"
+
+echo "== fire $CLIENTS concurrent identical fig10 submits, SIGKILL the owner mid-grid"
+n=0
+while [ "$n" -lt "$CLIENTS" ]; do
+    # shellcheck disable=SC2086
+    "$WORK/drsctl" -peers "$PEERS" submit -wait $SPEC_FLAGS \
+        >"$WORK/body.$n" 2>"$WORK/err.$n" &
+    eval "CLIENT_$n=\$!"
+    n=$((n + 1))
+done
+
+# All clients walk the same owner order, so by now they are parked on
+# the primary owner's ?wait=1. Kill it -9 while the grid is in flight:
+# the clients' transport errors trigger failover to the next owner,
+# whose singleflight collapses all of them into one fresh execution.
+sleep 0.3
+eval "vpid=\$WPID_$VICTIM"
+kill -9 "$vpid" 2>/dev/null || true
+echo "   killed worker $VICTIM (pid $vpid)"
+
+n=0
+while [ "$n" -lt "$CLIENTS" ]; do
+    eval "pid=\$CLIENT_$n"
+    if ! wait "$pid"; then
+        echo "client $n failed:" >&2
+        cat "$WORK/err.$n" >&2
+        exit 1
+    fi
+    n=$((n + 1))
+done
+
+echo "== assert byte-identical result bodies"
+test -s "$WORK/body.0" || { echo "empty result body" >&2; exit 1; }
+n=1
+while [ "$n" -lt "$CLIENTS" ]; do
+    cmp "$WORK/body.0" "$WORK/body.$n" || {
+        echo "client $n received different bytes than client 0" >&2
+        exit 1
+    }
+    n=$((n + 1))
+done
+
+echo "== assert exactly one execution among the survivors"
+STARTED=0
+i=0
+while [ "$i" -lt 3 ]; do
+    [ "$i" = "$VICTIM" ] && { i=$((i + 1)); continue; }
+    "$WORK/drsctl" -addr "http://127.0.0.1:$((BASE_PORT + i))" metrics >"$WORK/metrics.$i.json"
+    s=$(grep -o '"service/jobs_started":[0-9]*' "$WORK/metrics.$i.json" | grep -o '[0-9]*$' || true)
+    STARTED=$((STARTED + ${s:-0}))
+    i=$((i + 1))
+done
+if [ "$STARTED" -ne 1 ]; then
+    echo "surviving-cluster jobs_started = $STARTED, want exactly 1" >&2
+    cat "$WORK"/metrics.*.json >&2
+    exit 1
+fi
+
+echo "== assert the artifact is served from a surviving store"
+"$WORK/drsctl" -peers "$PEERS" artifact "$JOB_ID" >"$WORK/artifact.body" 2>"$WORK/artifact.err"
+cmp "$WORK/body.0" "$WORK/artifact.body" || {
+    echo "stored artifact differs from the submitted result" >&2
+    exit 1
+}
+grep -q "artifact source: peer-store" "$WORK/artifact.err" || {
+    echo "artifact was not served from a peer store:" >&2
+    cat "$WORK/artifact.err" >&2
+    exit 1
+}
+
+echo "== restart the killed owner over its old store dir"
+start_worker "$VICTIM"
+wait_healthy "$VICTIM"
+# Read-through resubmission: the client finds the committed artifact on
+# the surviving owner's store — byte-identical, no recompute anywhere.
+# shellcheck disable=SC2086
+"$WORK/drsctl" -peers "$PEERS" submit -wait $SPEC_FLAGS \
+    >"$WORK/body.restart" 2>/dev/null
+cmp "$WORK/body.0" "$WORK/body.restart" || {
+    echo "post-restart result differs" >&2
+    exit 1
+}
+
+echo "== SIGTERM all workers, assert clean drains"
+i=0
+while [ "$i" -lt 3 ]; do
+    eval "kill -TERM \$WPID_$i" 2>/dev/null || true
+    i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 3 ]; do
+    eval "wait \$WPID_$i" 2>/dev/null || true
+    grep -q "drained cleanly" "$WORK/drsd.$i.log" || {
+        echo "worker $i did not report a clean drain:" >&2
+        cat "$WORK/drsd.$i.log" >&2
+        exit 1
+    }
+    i=$((i + 1))
+done
+
+echo "smoke_cluster: OK ($CLIENTS clients, 3 workers, owner SIGKILLed mid-grid, 1 execution, identical bytes)"
