@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -50,6 +52,9 @@ func main() {
 
 		policyFlag   = flag.String("policy", "", "reordering policy: restricts -exp policies to one policy, or selects the observed run's policy (see -list-policies)")
 		listPolicies = flag.Bool("list-policies", false, "print the registered reordering policies and exit")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on clean exit and on -timeout expiry)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit (after a final GC)")
 
 		statsJSON = flag.String("stats-json", "", "observed-run mode: write the full metrics registry dump (flat JSON) to this file")
 		traceOut  = flag.String("trace", "", "observed-run mode: write a Chrome trace (chrome://tracing / Perfetto) of per-SMX occupancy and stall phases to this file")
@@ -112,6 +117,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-timeout must be >= 0\n")
 		os.Exit(2)
 	}
+
+	flushProfiles = startProfiles(*cpuprofile, *memprofile)
+	defer flushProfiles()
 
 	// The timeout rides the same context plumbing the service layer
 	// uses: scheduler workers stop claiming cells and in-flight device
@@ -187,6 +195,7 @@ func main() {
 					fmt.Fprintf(os.Stderr,
 						"drsbench: determinism violation: run %d of %s diverged from run 1 on the %s engine\n",
 						i, r.name, *engine)
+					flushProfiles()
 					os.Exit(1)
 				}
 			}
@@ -301,10 +310,58 @@ func (s selection) run(ctx context.Context, p experiments.Params) ([]expResult, 
 	return out, p.Cache, nil
 }
 
+// flushProfiles finalizes -cpuprofile/-memprofile. It must run on every
+// exit path — exitOn's os.Exit calls bypass defers, and a timed-out run
+// is exactly the one being profiled — so exitOn calls it explicitly
+// before exiting.
+var flushProfiles = func() {}
+
+// startProfiles begins CPU profiling (if requested) and returns the
+// idempotent flush that stops it and writes the allocation profile.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drsbench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "drsbench:", err)
+			os.Exit(2)
+		}
+		cpuF = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "drsbench:", err)
+				return
+			}
+			runtime.GC() // settle live heap so inuse numbers are meaningful
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "drsbench:", err)
+			}
+			f.Close()
+		}
+	}
+}
+
 func exitOn(err error) {
 	if err == nil {
 		return
 	}
+	flushProfiles()
 	// A -timeout expiry is an operational condition, not a determinism
 	// or simulation failure; give it its own exit code so CI wrappers
 	// can tell the two apart.

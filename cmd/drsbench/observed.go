@@ -90,6 +90,7 @@ func runObserved(ctx context.Context, p experiments.Params, spec observedSpec) {
 		}
 		if !bytes.Equal(stats, refStats) || !bytes.Equal(traceBytes, refTrace) {
 			fmt.Fprintf(os.Stderr, "drsbench: determinism violation: observed run %d diverged from run 1\n", i)
+			flushProfiles()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "repeat %d/%d: identical\n", i, spec.repeat)

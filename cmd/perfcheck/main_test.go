@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBench(t *testing.T) {
+	out := map[string][]metrics{}
+	p := writeTemp(t, "bench.txt", `goos: linux
+BenchmarkFigure10Par1 	       1	3141978836 ns/op	312056856 B/op	 1527550 allocs/op
+BenchmarkFigure10Par1-4 	       1	3034775805 ns/op	312040680 B/op	 1527495 allocs/op
+BenchmarkDivergeSplit 	    1444	    775294 ns/op	       0 B/op	       0 allocs/op
+PASS
+`)
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parseBench(f, out)
+	if got := len(out["Figure10Par1"]); got != 2 {
+		t.Fatalf("Figure10Par1 samples = %d, want 2 (the -4 suffix must fold in)", got)
+	}
+	if out["Figure10Par1"][0].AllocsOp != 1527550 {
+		t.Errorf("allocs/op = %v", out["Figure10Par1"][0].AllocsOp)
+	}
+	if out["DivergeSplit"][0].NsOp != 775294 {
+		t.Errorf("ns/op = %v", out["DivergeSplit"][0].NsOp)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m := median([]metrics{
+		{NsOp: 3, AllocsOp: 30},
+		{NsOp: 1, AllocsOp: 10},
+		{NsOp: 2, AllocsOp: 20},
+	})
+	if m.NsOp != 2 || m.AllocsOp != 20 {
+		t.Errorf("median = %+v", m)
+	}
+	m = median([]metrics{{NsOp: 1}, {NsOp: 3}})
+	if m.NsOp != 2 {
+		t.Errorf("even-count median = %v", m.NsOp)
+	}
+}
+
+func TestRatioDelta(t *testing.T) {
+	if d := ratioDelta(110, 100); d != 0.1 {
+		t.Errorf("delta = %v", d)
+	}
+	if d := ratioDelta(0, 0); d != 0 {
+		t.Errorf("zero/zero = %v", d)
+	}
+	if d := ratioDelta(5, 0); d != 1 {
+		t.Errorf("nonzero over zero baseline = %v (must read as regressed)", d)
+	}
+}

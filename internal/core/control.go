@@ -75,6 +75,16 @@ type role struct {
 	// want is the ray state this role collects (StateFetch/StateLeaf)
 	// or ejects (StateInner).
 	want kernels.State
+	// noMoveVersion caches a fruitless findMove: while the control's
+	// mutation version is unchanged, re-planning would rescan every row
+	// and reach the same nil. ^0 = no cached outcome.
+	noMoveVersion uint64
+	// opStore and the cell buffers are reused across this role's
+	// operations (one op in flight per role at a time) so steady-state
+	// shuffle planning does not allocate.
+	opStore move
+	srcBuf  []int
+	dstBuf  []int
 }
 
 // Control is the per-SMX DRS control logic.
@@ -106,6 +116,19 @@ type Control struct {
 	// every row is uniform.
 	rowMixed []bool
 	numMixed int
+
+	// version counts every mutation of the state the gate and the swap
+	// planner read: ray state transitions (onStateChange), row content
+	// and busy changes (planMove/completeMove/idealShuffle) and binding
+	// changes (bind/unbind). Pool().Remaining() is covered too: the
+	// kernel fires the state listener on every pool fetch. A warp whose
+	// gate stalled at version v must stall again at version v — the gate
+	// records (warp, version) on stall and skips the O(rows) rescan
+	// until something actually changes. Byte-identical by construction.
+	version uint64
+	// stallVersion[w] is the version at which warp w's gate last
+	// returned a stall (^0 = never).
+	stallVersion []uint64
 
 	// traceOps, when set, receives a one-line description of every
 	// planned swap (debugging/inspection aid).
@@ -142,6 +165,10 @@ func NewControl(cfg Config, kernel *kernels.WhileIf) (*Control, error) {
 		rowBusy: make([]int, nRows),
 		scratch: make([]int32, ws),
 	}
+	c.stallVersion = make([]uint64, nWarps)
+	for i := range c.stallVersion {
+		c.stallVersion[i] = ^uint64(0)
+	}
 	c.slotRow = make([]int32, kernel.NumSlots())
 	c.rowCounts = make([][4]int, nRows)
 	slot := int32(0)
@@ -170,9 +197,9 @@ func NewControl(cfg Config, kernel *kernels.WhileIf) (*Control, error) {
 	}
 	bpr := cfg.buffersPerRole()
 	c.roles = [3]role{
-		{name: "fetch-collect", buffers: bpr, want: kernels.StateFetch},
-		{name: "leaf-collect", buffers: bpr, want: kernels.StateLeaf},
-		{name: "inner-eject", buffers: bpr, want: kernels.StateInner},
+		{name: "fetch-collect", buffers: bpr, want: kernels.StateFetch, noMoveVersion: ^uint64(0)},
+		{name: "leaf-collect", buffers: bpr, want: kernels.StateLeaf, noMoveVersion: ^uint64(0)},
+		{name: "inner-eject", buffers: bpr, want: kernels.StateInner, noMoveVersion: ^uint64(0)},
 	}
 	return c, nil
 }
@@ -224,6 +251,7 @@ func (c *Control) maskedSlots(row int) []int32 {
 // onStateChange mirrors kernel ray state transitions into the row
 // counters (the DRS ray state table updates of §3.2.2).
 func (c *Control) onStateChange(slot int32, old, new kernels.State) {
+	c.version++
 	r := c.slotRow[slot]
 	c.rowCounts[r][old]--
 	c.rowCounts[r][new]++
@@ -277,6 +305,7 @@ func (c *Control) unbind(w int) {
 	if r := c.warpRow[w]; r >= 0 {
 		c.rowWarp[r] = -1
 		c.warpRow[w] = -1
+		c.version++
 	}
 }
 
@@ -284,12 +313,23 @@ func (c *Control) unbind(w int) {
 func (c *Control) bind(w, r int) {
 	c.warpRow[w] = r
 	c.rowWarp[r] = w
+	c.version++
 }
 
 // gate implements the rdctrl issue semantics (§3.2.3): map the warp to
 // a row of rays in the same state, or suspend its issue until ray
 // shuffling produces one.
 func (c *Control) gate(s *simt.SMX, warp int, now int64) simt.GateResult {
+	// Stall memoization: the gate's whole decision reads state covered by
+	// the mutation version (row counts, bindings, busy flags, pool
+	// occupancy), and its only lasting side effects on the stall path —
+	// unbind, an ideal regroup — bump it. So an unchanged version since
+	// this warp's last stall means the full evaluation would stall again;
+	// skip the O(rows) rescan. (The version is monotonic: equality
+	// implies literally nothing changed in between.)
+	if c.stallVersion[warp] == c.version {
+		return simt.GateStall
+	}
 	if row := c.warpRow[warp]; row >= 0 {
 		st, uniform, anyWork := c.rowState(row)
 		full := anyWork && c.rowCounts[row][st] >= c.bindThreshold()
@@ -335,6 +375,7 @@ func (c *Control) gate(s *simt.SMX, warp int, now int64) simt.GateResult {
 	if !c.anyWorkLeft() && c.kernel.Pool().Remaining() == 0 {
 		return simt.GateExit
 	}
+	c.stallVersion[warp] = c.version
 	return simt.GateStall
 }
 
@@ -377,6 +418,7 @@ func (c *Control) idealShuffle() {
 	if !mixed {
 		return
 	}
+	c.version++
 	var byState [4][]int32
 	var freeRows []int
 	for r := range c.rows {
@@ -497,6 +539,7 @@ func (c *Control) completeMove(op *move, now int64) {
 	c.refreshMixed(op.dstRow)
 	c.rowBusy[op.srcRow]--
 	c.rowBusy[op.dstRow]--
+	c.version++
 	c.stats.SwapsCompleted++
 	c.stats.SwapCycleSum += now - op.started
 }
@@ -506,12 +549,20 @@ func (c *Control) completeMove(op *move, now int64) {
 // row, moving rays into empty cells when possible and exchanging them
 // for rays of a different state otherwise.
 func (c *Control) planMove(r *role, now int64) *move {
-	src, dst, exch, srcCells, dstCells := c.findMove(r.want)
+	// Fruitless plans are memoized on the mutation version: findMove is
+	// pure, so until something changes it would rescan every row and
+	// find nothing again.
+	if r.noMoveVersion == c.version {
+		return nil
+	}
+	src, dst, exch, srcCells, dstCells := c.findMove(r.want, r.srcBuf[:0], r.dstBuf[:0])
 	if src < 0 {
+		r.noMoveVersion = c.version
 		return nil
 	}
 	c.rowBusy[src]++
 	c.rowBusy[dst]++
+	c.version++
 	c.stats.SwapsStarted++
 	if c.traceOps != nil {
 		c.traceOps(fmt.Sprintf("op %s: donor=%d -> coll=%d rays=%d exch=%v donorCounts=%v collCounts=%v",
@@ -521,11 +572,19 @@ func (c *Control) planMove(r *role, now int64) *move {
 	if exch {
 		vars *= 2
 	}
-	return &move{
+	// Recycle the role's op storage (one op in flight per role): the
+	// cell slices alias the role's buffers, which the next plan reuses
+	// only after completeMove has consumed them.
+	r.srcBuf, r.dstBuf = srcCells, dstCells
+	op := &r.opStore
+	inflight := op.inflight[:0]
+	*op = move{
 		srcRow: src, dstRow: dst,
 		srcCells: srcCells, dstCells: dstCells,
 		exchange: exch, varsTotal: vars, started: now,
+		inflight: inflight,
 	}
+	return op
 }
 
 // findMove plans one batched shuffle step for the given state: pick a
@@ -533,7 +592,10 @@ func (c *Control) planMove(r *role, now int64) *move {
 // the wanted state with collector cells as possible — empty cells
 // first (plain moves), then cells holding a different live state
 // (exchanges).
-func (c *Control) findMove(want kernels.State) (srcRow, dstRow int, exchange bool, srcCells, dstCells []int) {
+// The cell slices are appended into the caller's buffers (srcCells,
+// dstCells) so steady-state planning does not allocate; findMove itself
+// mutates nothing.
+func (c *Control) findMove(want kernels.State, srcCells, dstCells []int) (srcRow, dstRow int, exchange bool, srcOut, dstOut []int) {
 	// Donor first: a mixed unbound row holding a wanted ray. (Choosing
 	// the donor before the collector matters at drain time, when the
 	// last mixed row must not be selected as its own collector.) When

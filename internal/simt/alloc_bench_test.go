@@ -58,8 +58,8 @@ func (k *divergeKernel) reset() {
 // BenchmarkDivergeSplit measures the per-divergence cost of the resolve
 // path: 8 warps x 64 rounds of a 4-way split + reconverge. B/op is the
 // headline number — the split path must not allocate per divergence
-// (scratch lives on the Warp), or full-suite runs spend their time in
-// the garbage collector.
+// (scratch lives on the SMX, stacks in the store's fixed windows), or
+// full-suite runs spend their time in the garbage collector.
 func BenchmarkDivergeSplit(b *testing.B) {
 	cfg := smallConfig(8)
 	k := newDivergeKernel(8*cfg.WarpSize, 64)

@@ -1,0 +1,81 @@
+package simt
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+// memDivergeKernel combines the two per-cycle stress paths: every loop
+// iteration splits the warp four ways, reconverges, and issues one
+// coalesced texture load per arm — so a steady run exercises issue,
+// divergence resolve, the memory path and (on an ordered L2) the epoch
+// drain, forever.
+type memDivergeKernel struct{}
+
+func (memDivergeKernel) Blocks() []BlockInfo {
+	return []BlockInfo{
+		{Name: "head", Insts: 1, Reconv: 5}, // 0: 4-way split point
+		{Name: "a", Insts: 1, MemInsts: 1},  // 1
+		{Name: "b", Insts: 1, MemInsts: 1},  // 2
+		{Name: "c", Insts: 1, MemInsts: 1},  // 3
+		{Name: "d", Insts: 1, MemInsts: 1},  // 4
+		{Name: "join", Insts: 1},            // 5: loop back, never exits
+	}
+}
+
+func (memDivergeKernel) Entry() int { return 0 }
+
+func (memDivergeKernel) Step(slot int32, block int, res *StepResult) {
+	switch block {
+	case 0:
+		res.Next = 1 + int(slot)%4
+	case 1, 2, 3, 4:
+		res.Next = 5
+		res.NMem = 1
+		res.Mem[0] = MemAccess{Addr: uint64(slot) * 64, Bytes: 4, Space: memsys.Tex}
+	case 5:
+		res.Next = 0
+	}
+}
+
+// TestSteadyCycleLoopZeroAlloc pins the SoA core's headline property:
+// once warm, the per-cycle loop — scheduling, issue, the memory path,
+// divergence resolve and the epoch drain — performs zero heap
+// allocations. All scratch lives in the SMX (lane/target/vote buffers)
+// or the warpState store (stack windows, pending records), sized at
+// NewSMX; anything that allocates per cycle turns full-suite runs into
+// GC benchmarks. The //drslint:hotpath lint enforces this statically;
+// this test enforces it against the allocator itself.
+func TestSteadyCycleLoopZeroAlloc(t *testing.T) {
+	cfg := smallConfig(8)
+	ordered := memsys.NewOrderedL2(cfg.Mem, 1)
+	s, err := NewSMX(0, cfg, memDivergeKernel{}, Hooks{}, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LaunchAll(0)
+
+	epoch := func() {
+		if err := s.RunEpoch(s.Cycle() + 64); err != nil {
+			t.Fatal(err)
+		}
+		ordered.Drain()
+		s.ResolveEpoch()
+	}
+	// Warm-up: let every reusable buffer (pending records, L2 port
+	// queues, resolve scratch) reach its steady capacity.
+	for i := 0; i < 50; i++ {
+		epoch()
+	}
+	if s.LiveWarps() == 0 {
+		t.Fatal("kernel retired during warm-up; the steady-state measurement would be vacuous")
+	}
+
+	if avg := testing.AllocsPerRun(20, epoch); avg != 0 {
+		t.Errorf("steady-state cycle loop allocates: %.1f allocs per 64-cycle epoch (want 0)", avg)
+	}
+	if s.LiveWarps() == 0 {
+		t.Fatal("kernel retired during measurement")
+	}
+}

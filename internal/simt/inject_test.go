@@ -31,8 +31,8 @@ func TestInjectInstrs(t *testing.T) {
 		t.Errorf("hist[12] = %d", st.ActiveHist[12])
 	}
 	// 17 instructions at 2 dispatch/cycle = 9 issue cycles + 5 extra.
-	if w.readyCycle < 14 {
-		t.Errorf("warp not stalled: readyCycle = %d", w.readyCycle)
+	if rc := w.st.readyCycle[w.id]; rc < 14 {
+		t.Errorf("warp not stalled: readyCycle = %d", rc)
 	}
 	// Zero and negative counts are no-ops.
 	before := s.Stats().WarpInstrs

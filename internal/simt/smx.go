@@ -1,3 +1,4 @@
+//drslint:hotpath
 package simt
 
 import (
@@ -13,24 +14,65 @@ import (
 // by greedy-then-oldest schedulers, a banked register file, and private
 // L1 caches over the shared L2. An SMX is single-goroutine; the GPU
 // runs one goroutine per SMX.
+//
+// Warp state lives in a struct-of-arrays store (warpstate.go): the
+// per-cycle scheduler scan, the issue loop and the divergence resolver
+// walk flat arrays indexed by warp id instead of dereferencing per-warp
+// heap objects. The interface-dispatched calls of the issue path
+// (Kernel.Step, WarpVoter.Vote, the architecture hooks, the scheduler
+// policy) are resolved once at NewSMX into direct func fields.
 type SMX struct {
 	ID     int
 	cfg    Config
 	kernel Kernel
-	voter  WarpVoter
 	hooks  Hooks
 
-	warps  []*Warp
-	mem    *memsys.SMXMem
-	rf     *regfile.File
+	st    *warpState
+	views []Warp
+	mem   *memsys.SMXMem
+	rf    *regfile.File
 	blocks []BlockInfo
 
-	cycle    int64
-	liveWarp int // count of warps not Done
-	stats    Stats
+	cycle int64
+	stats Stats
 
 	// greedy scheduler state: last warp issued per scheduler
 	lastWarp []int
+	// Idle cache: before cycle schedWake[sched] (valid while
+	// schedWakeGen[sched] matches the store's wakeGen) the scheduler's
+	// pick scan would find nothing issuable, so pickWarp returns -1
+	// without rescanning. Stalls only push wake-ups later and parks only
+	// remove candidates; the one event that wakes a warp early — a
+	// launch/resume resetting readyCycle — bumps wakeGen.
+	schedWake    []int64
+	schedWakeGen []uint64
+
+	// Issue path devirtualized at NewSMX: the kernel's Step method
+	// value, the optional voter, the architecture hooks, and the
+	// scheduler policy are bound once so the per-instruction loop makes
+	// direct calls instead of interface dispatches.
+	stepFn       func(slot int32, block int, res *StepResult)
+	voteFn       func(warp, block int, slots []int32, res []*StepResult)
+	gateFn       func(s *SMX, warp int, now int64) GateResult
+	tickFn       func(s *SMX, now int64)
+	onDivergeFn  func(s *SMX, warp, block int, lanes []int, targets []int) bool
+	onBlockEndFn func(s *SMX, warp, block int, lanes []int, targets []int) bool
+	onWarpDoneFn func(s *SMX, warp int)
+	schedRR      bool
+	nsched       int
+	wsz          int
+
+	// Resolve/vote scratch, reused every cycle (the SMX is single-
+	// goroutine and only one warp resolves at a time). Pre-sized to the
+	// warp width at NewSMX so the steady-state cycle loop never grows
+	// them.
+	laneBuf   []int
+	targetBuf []int
+	uniqBuf   []int
+	maskBuf   []uint32
+	voteSlots []int32
+	voteRes   []*StepResult
+	launchBuf []int32
 
 	defaultSrcOps int
 }
@@ -54,23 +96,43 @@ func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 memsys.SharedL2) 
 			return nil, fmt.Errorf("simt: block %d (%s) has no instructions", i, b.Name)
 		}
 	}
+	ws := cfg.WarpSize
 	s := &SMX{
 		ID:            id,
 		cfg:           cfg,
 		kernel:        kernel,
 		hooks:         hooks,
 		blocks:        blocks,
+		st:            newWarpState(cfg.MaxWarpsPerSMX, ws),
 		mem:           memsys.NewSMXMemShared(cfg.Mem, id, l2),
 		rf:            regfile.New(cfg.RF),
 		lastWarp:      make([]int, cfg.SchedulersPerSMX),
+		schedWake:     make([]int64, cfg.SchedulersPerSMX),
+		schedWakeGen:  make([]uint64, cfg.SchedulersPerSMX),
+		launchBuf:     make([]int32, ws),
+		stepFn:        kernel.Step,
+		gateFn:        hooks.Gate,
+		tickFn:        hooks.Tick,
+		onDivergeFn:   hooks.OnDiverge,
+		onBlockEndFn:  hooks.OnBlockEnd,
+		onWarpDoneFn:  hooks.OnWarpDone,
+		schedRR:       cfg.Scheduler == SchedRR,
+		nsched:        cfg.SchedulersPerSMX,
+		wsz:           ws,
+		laneBuf:       make([]int, 0, ws),
+		targetBuf:     make([]int, 0, ws),
+		uniqBuf:       make([]int, 0, ws),
+		maskBuf:       make([]uint32, 0, ws),
+		voteSlots:     make([]int32, 0, ws),
+		voteRes:       make([]*StepResult, 0, ws),
 		defaultSrcOps: 2,
 	}
 	if v, ok := kernel.(WarpVoter); ok {
-		s.voter = v
+		s.voteFn = v.Vote
 	}
-	s.warps = make([]*Warp, cfg.MaxWarpsPerSMX)
-	for i := range s.warps {
-		s.warps[i] = newWarp(i, cfg.WarpSize)
+	s.views = make([]Warp, cfg.MaxWarpsPerSMX)
+	for i := range s.views {
+		s.views[i] = Warp{st: s.st, id: i}
 	}
 	for i := range s.lastWarp {
 		s.lastWarp[i] = -1
@@ -81,38 +143,30 @@ func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 memsys.SharedL2) 
 // LaunchAll starts every warp at the kernel entry with the identity
 // mapping slotBase + warp*warpSize + lane.
 func (s *SMX) LaunchAll(slotBase int32) {
-	slots := make([]int32, s.cfg.WarpSize)
-	for _, w := range s.warps {
+	slots := s.launchBuf
+	entry := s.kernel.Entry()
+	for w := 0; w < s.st.n; w++ {
 		for l := range slots {
-			slots[l] = slotBase + int32(w.id*s.cfg.WarpSize+l)
+			slots[l] = slotBase + int32(w*s.wsz+l)
 		}
-		w.Launch(s.kernel.Entry(), slots)
+		s.st.launch(w, entry, slots)
 	}
-	s.recountLive()
 }
 
 // LaunchMapped starts warp w at the entry block with an explicit
-// mapping (used by the DRS wiring, where warps map to rows).
+// mapping (used by the DRS wiring, where warps map to rows). The live
+// counter is maintained incrementally by the phase transition — this
+// remap costs O(warpSize), with no O(warps) recount.
 //drslint:hotpath
 func (s *SMX) LaunchMapped(warp int, slots []int32) {
-	s.warps[warp].Launch(s.kernel.Entry(), slots)
-	s.recountLive()
-}
-
-func (s *SMX) recountLive() {
-	s.liveWarp = 0
-	for _, w := range s.warps {
-		if !w.Done() {
-			s.liveWarp++
-		}
-	}
+	s.st.launch(warp, s.kernel.Entry(), slots)
 }
 
 // Warp returns warp i (architecture hooks use this to re-form warps).
-func (s *SMX) Warp(i int) *Warp { return s.warps[i] }
+func (s *SMX) Warp(i int) *Warp { return &s.views[i] }
 
 // NumWarps returns the number of resident warps.
-func (s *SMX) NumWarps() int { return len(s.warps) }
+func (s *SMX) NumWarps() int { return s.st.n }
 
 // Cycle returns the current cycle.
 func (s *SMX) Cycle() int64 { return s.cycle }
@@ -147,7 +201,7 @@ func (s *SMX) MetricsPrefix() string { return fmt.Sprintf("smx%d", s.ID) }
 func (s *SMX) RegisterMetrics(reg *metrics.Registry) {
 	p := s.MetricsPrefix()
 	reg.Counter(p+"/cycles", &s.cycle)
-	reg.Gauge(p+"/live_warps", func() int64 { return int64(s.liveWarp) })
+	reg.Gauge(p+"/live_warps", func() int64 { return int64(s.st.live) })
 	reg.RegisterStruct(p, &s.stats)
 	s.mem.RegisterMetrics(reg, p)
 	s.rf.RegisterMetrics(reg, p+"/rf")
@@ -160,7 +214,7 @@ func (s *SMX) RegisterMetrics(reg *metrics.Registry) {
 // every epoch barrier, when no SMX goroutine is running.
 func (s *SMX) RegisterSeries(se *metrics.Series) {
 	p := s.MetricsPrefix()
-	se.Column(p+"/live_warps", func() int64 { return int64(s.liveWarp) })
+	se.Column(p+"/live_warps", func() int64 { return int64(s.st.live) })
 	se.Column(p+"/warp_instrs", func() int64 { return s.stats.WarpInstrs })
 	se.Column(p+"/sampled_exec", func() int64 { return s.stats.SampledExec })
 	se.Column(p+"/sampled_mem", func() int64 { return s.stats.SampledMem })
@@ -174,11 +228,11 @@ func (s *SMX) Run() (Stats, error) {
 	if maxCycles <= 0 {
 		maxCycles = 1 << 40
 	}
-	for s.liveWarp > 0 {
+	for s.st.live > 0 {
 		s.step()
 		if s.cycle > maxCycles {
 			return s.Stats(), fmt.Errorf("simt: SMX %d exceeded %d cycles (%d warps live; deadlock?)",
-				s.ID, maxCycles, s.liveWarp)
+				s.ID, maxCycles, s.st.live)
 		}
 	}
 	return s.Stats(), nil
@@ -196,11 +250,11 @@ func (s *SMX) RunEpoch(end int64) error {
 	if maxCycles <= 0 {
 		maxCycles = 1 << 40
 	}
-	for s.liveWarp > 0 && s.cycle < end {
+	for s.st.live > 0 && s.cycle < end {
 		s.step()
 		if s.cycle > maxCycles {
 			return fmt.Errorf("simt: SMX %d exceeded %d cycles (%d warps live; deadlock?)",
-				s.ID, maxCycles, s.liveWarp)
+				s.ID, maxCycles, s.st.live)
 		}
 	}
 	return nil
@@ -219,24 +273,25 @@ func (s *SMX) ResolveEpoch() {
 	if port == nil || port.Pending() == 0 {
 		return
 	}
-	for _, w := range s.warps {
-		for _, p := range w.pending {
+	st := s.st
+	for w := 0; w < st.n; w++ {
+		for _, p := range st.pending[w] {
 			if !port.AnyMissed(p.first, p.count) {
 				continue
 			}
-			if w.phase == phaseExec {
+			if st.phase[w] == phaseExec {
 				// Block still executing: the latency is exposed at block
 				// completion via memReady.
-				if p.missReady > w.memReady {
-					w.memReady = p.missReady
+				if p.missReady > st.memReady[w] {
+					st.memReady[w] = p.missReady
 				}
-			} else if p.missReady > w.readyCycle {
+			} else if p.missReady > st.readyCycle[w] {
 				// Block completed inside the epoch: completion moved the
 				// provisional memReady into readyCycle; raise it there.
-				w.readyCycle = p.missReady
+				st.readyCycle[w] = p.missReady
 			}
 		}
-		w.pending = w.pending[:0]
+		st.pending[w] = st.pending[w][:0]
 	}
 	port.Reset()
 }
@@ -249,11 +304,11 @@ func (s *SMX) RunFor(n int64) error {
 	if maxCycles <= 0 {
 		maxCycles = 1 << 40
 	}
-	for end := s.cycle + n; s.liveWarp > 0 && s.cycle < end; {
+	for end := s.cycle + n; s.st.live > 0 && s.cycle < end; {
 		s.step()
 		if s.cycle > maxCycles {
 			return fmt.Errorf("simt: SMX %d exceeded %d cycles (%d warps live; deadlock?)",
-				s.ID, maxCycles, s.liveWarp)
+				s.ID, maxCycles, s.st.live)
 		}
 	}
 	return nil
@@ -264,27 +319,27 @@ func (s *SMX) RunFor(n int64) error {
 func (s *SMX) step() {
 	s.cycle++
 	s.rf.Advance(s.cycle)
-	if s.hooks.Tick != nil {
-		s.hooks.Tick(s, s.cycle)
+	if s.tickFn != nil {
+		s.tickFn(s, s.cycle)
 	}
 	if s.cycle%64 == 0 {
-		for _, w := range s.warps {
+		st := s.st
+		for w := 0; w < st.n; w++ {
 			switch {
-			case w.phase == phaseDone:
+			case st.phase[w] == phaseDone:
 				s.stats.SampledDone++
-			case w.phase == phaseParked:
+			case st.phase[w] == phaseParked:
 				s.stats.SampledParked++
-			case w.readyCycle > s.cycle+1:
+			case st.readyCycle[w] > s.cycle+1:
 				s.stats.SampledMem++
-			case w.readyCycle == s.cycle+1 && w.phase == phaseEnter:
+			case st.readyCycle[w] == s.cycle+1 && st.phase[w] == phaseEnter:
 				s.stats.SampledGate++
 			default:
 				s.stats.SampledExec++
 			}
 		}
 	}
-	nsched := s.cfg.SchedulersPerSMX
-	for sched := 0; sched < nsched; sched++ {
+	for sched := 0; sched < s.nsched; sched++ {
 		s.stats.IssueSlotsTotal += int64(s.cfg.DispatchPerScheduler)
 		// A scheduler keeps trying candidate warps until one issues:
 		// every failed issue attempt (gate stall, memory stall, warp
@@ -293,19 +348,19 @@ func (s *SMX) step() {
 		guard := 0
 		for {
 			w := s.pickWarp(sched)
-			if w == nil {
+			if w < 0 {
 				break
 			}
 			if !s.issueOne(w) {
 				guard++
-				if guard > len(s.warps) {
+				if guard > s.st.n {
 					break
 				}
 				continue
 			}
 			s.stats.IssueSlotsUsed++
-			w.lastIssued = s.cycle
-			s.lastWarp[sched] = w.id
+			s.st.lastIssued[w] = s.cycle
+			s.lastWarp[sched] = w
 			for d := 1; d < s.cfg.DispatchPerScheduler; d++ {
 				if !s.issueOne(w) {
 					break
@@ -318,29 +373,67 @@ func (s *SMX) step() {
 }
 
 // pickWarp selects the next warp for a scheduler according to the
-// configured policy.
-func (s *SMX) pickWarp(sched int) *Warp {
-	if s.cfg.Scheduler == SchedRR {
-		return s.pickRR(sched)
+// configured policy, returning its id (-1 = none issuable). A scan that
+// comes up empty records the earliest cycle any of the scheduler's
+// warps could become issuable; until then (and while no launch/resume
+// intervenes) subsequent picks return -1 in O(1) — on memory- and
+// gate-bound phases most cycles have no issuable warp, and rescanning
+// every warp per scheduler per cycle was the scheduler's dominant cost.
+func (s *SMX) pickWarp(sched int) int {
+	if s.schedWakeGen[sched] == s.st.wakeGen && s.cycle < s.schedWake[sched] {
+		return -1
 	}
-	// Greedy-then-oldest: prefer the warp this scheduler issued from
-	// last; otherwise the ready warp that has waited longest (oldest
-	// lastIssued, then lowest id).
-	if last := s.lastWarp[sched]; last >= 0 {
-		w := s.warps[last]
-		if w.id%s.cfg.SchedulersPerSMX == sched && s.issuable(w) {
-			return w
+	var w int
+	if s.schedRR {
+		w = s.pickRR(sched)
+	} else {
+		w = s.pickGTO(sched)
+	}
+	if w < 0 {
+		s.recordWake(sched)
+	}
+	return w
+}
+
+// recordWake caches the scheduler's next possible wake-up after an
+// empty pick scan: the minimum readyCycle over its live, unparked
+// warps (none of which is issuable now, so all exceed the current
+// cycle). With no live warps the cache holds until a launch bumps the
+// generation.
+func (s *SMX) recordWake(sched int) {
+	st := s.st
+	wake := int64(1) << 62
+	for w := sched; w < st.n; w += s.nsched {
+		if p := st.phase[w]; p == phaseDone || p == phaseParked {
+			continue
+		}
+		if st.readyCycle[w] < wake {
+			wake = st.readyCycle[w]
 		}
 	}
-	var best *Warp
-	for i := sched; i < len(s.warps); i += s.cfg.SchedulersPerSMX {
-		w := s.warps[i]
+	s.schedWake[sched] = wake
+	s.schedWakeGen[sched] = st.wakeGen
+}
+
+// pickGTO is greedy-then-oldest: prefer the warp this scheduler issued
+// from last; otherwise the ready warp that has waited longest (oldest
+// lastIssued, then lowest id). The scan reads two flat arrays (phase,
+// readyCycle) — no pointer chasing.
+func (s *SMX) pickGTO(sched int) int {
+	if last := s.lastWarp[sched]; last >= 0 {
+		if last%s.nsched == sched && s.issuable(last) {
+			return last
+		}
+	}
+	st := s.st
+	best := -1
+	var bestLast int64
+	for w := sched; w < st.n; w += s.nsched {
 		if !s.issuable(w) {
 			continue
 		}
-		if best == nil || w.lastIssued < best.lastIssued ||
-			(w.lastIssued == best.lastIssued && w.id < best.id) {
-			best = w
+		if best < 0 || st.lastIssued[w] < bestLast {
+			best, bestLast = w, st.lastIssued[w]
 		}
 	}
 	return best
@@ -348,40 +441,42 @@ func (s *SMX) pickWarp(sched int) *Warp {
 
 // pickRR rotates through the scheduler's warps, starting after the one
 // it issued from last.
-func (s *SMX) pickRR(sched int) *Warp {
-	n := s.cfg.SchedulersPerSMX
-	count := (len(s.warps) - sched + n - 1) / n
+func (s *SMX) pickRR(sched int) int {
+	n := s.nsched
+	count := (s.st.n - sched + n - 1) / n
 	if count <= 0 {
-		return nil
+		return -1
 	}
 	start := 0
 	if last := s.lastWarp[sched]; last >= 0 {
 		start = (last-sched)/n + 1
 	}
 	for k := 0; k < count; k++ {
-		idx := sched + ((start+k)%count)*n
-		w := s.warps[idx]
+		w := sched + ((start+k)%count)*n
 		if s.issuable(w) {
 			return w
 		}
 	}
-	return nil
+	return -1
 }
 
 // issuable reports whether a warp could issue this cycle (ignoring
 // gate outcomes, which are only known at issue time).
-func (s *SMX) issuable(w *Warp) bool {
-	return w.phase != phaseDone && w.phase != phaseParked && w.readyCycle <= s.cycle
+func (s *SMX) issuable(w int) bool {
+	p := s.st.phase[w]
+	return p != phaseDone && p != phaseParked && s.st.readyCycle[w] <= s.cycle
 }
 
-// issueOne attempts to issue one instruction from w. Returns false if
-// the warp could not issue (gate stall, memory stall, done, parked).
-func (s *SMX) issueOne(w *Warp) bool {
+// issueOne attempts to issue one instruction from warp w. Returns false
+// if the warp could not issue (gate stall, memory stall, done, parked).
+func (s *SMX) issueOne(w int) bool {
+	st := s.st
 	for {
-		if w.phase == phaseDone || w.phase == phaseParked || w.readyCycle > s.cycle {
+		p := st.phase[w]
+		if p == phaseDone || p == phaseParked || st.readyCycle[w] > s.cycle {
 			return false
 		}
-		switch w.phase {
+		switch p {
 		case phaseResolve:
 			s.resolve(w)
 		case phaseEnter:
@@ -396,15 +491,16 @@ func (s *SMX) issueOne(w *Warp) bool {
 
 // enterBlock runs the gate and semantics for the warp's current block.
 // Returns false on a gate stall or exit.
-func (s *SMX) enterBlock(w *Warp) bool {
-	b := &s.blocks[w.block]
-	if b.Gated && s.hooks.Gate != nil {
-		switch s.hooks.Gate(s, w.id, s.cycle) {
+func (s *SMX) enterBlock(w int) bool {
+	st := s.st
+	b := &s.blocks[st.block[w]]
+	if b.Gated && s.gateFn != nil {
+		switch s.gateFn(s, w, s.cycle) {
 		case GateStall:
 			s.stats.CtrlStalls++
 			// Push the warp's next attempt to the following cycle so a
 			// greedy scheduler does not spin on it within this cycle.
-			w.readyCycle = s.cycle + 1
+			st.readyCycle[w] = s.cycle + 1
 			return false
 		case GateExit:
 			s.retireWarp(w)
@@ -412,53 +508,53 @@ func (s *SMX) enterBlock(w *Warp) bool {
 		}
 		// The gate may have remapped the warp (SetMapping resets phase
 		// to enter); re-read the block.
-		b = &s.blocks[w.block]
+		b = &s.blocks[st.block[w]]
 	}
-	mask := w.ActiveMask()
+	mask := st.topMask(w)
 	if mask == 0 {
 		s.retireWarp(w)
 		return false
 	}
-	w.activeMask = mask
-	for l := 0; l < s.cfg.WarpSize; l++ {
-		if mask&(1<<uint(l)) == 0 {
-			continue
-		}
-		slot := w.slots[l]
+	st.activeMask[w] = mask
+	base := st.laneBase(w)
+	block := int(st.block[w])
+	for m := mask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		slot := st.slots[base+l]
 		if slot < 0 {
 			// Lane is in the mask but has no context: treat as exited.
-			w.res[l] = StepResult{Next: BlockExit}
+			st.res[base+l] = StepResult{Next: BlockExit}
 			continue
 		}
-		w.res[l].NMem = 0
-		s.kernel.Step(slot, w.block, &w.res[l])
+		st.res[base+l].NMem = 0
+		s.stepFn(slot, block, &st.res[base+l])
 	}
-	if s.voter != nil {
-		// Reuse the warp's vote scratch: this runs at every block entry,
+	if s.voteFn != nil {
+		// Reuse the SMX's vote scratch: this runs at every block entry,
 		// and a fresh pair of slices per entry is pure GC pressure.
-		slots := w.voteSlots[:0]
-		results := w.voteRes[:0]
-		for l := 0; l < s.cfg.WarpSize; l++ {
-			if mask&(1<<uint(l)) != 0 {
-				slots = append(slots, w.slots[l])
-				results = append(results, &w.res[l])
-			}
+		slots := s.voteSlots[:0]
+		results := s.voteRes[:0]
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			slots = append(slots, st.slots[base+l])
+			results = append(results, &st.res[base+l])
 		}
-		w.voteSlots = slots
-		w.voteRes = results
-		s.voter.Vote(w.id, w.block, slots, results)
+		s.voteSlots = slots
+		s.voteRes = results
+		s.voteFn(w, block, slots, results)
 	}
-	w.insRemaining = b.Insts
-	w.memRemaining = b.MemInsts
-	w.memIdx = 0
-	w.phase = phaseExec
+	st.insRem[w] = int32(b.Insts)
+	st.memRem[w] = int32(b.MemInsts)
+	st.memIdx[w] = 0
+	st.setPhase(w, phaseExec)
 	return true
 }
 
 // issueInstruction issues one instruction of the current block.
-func (s *SMX) issueInstruction(w *Warp) bool {
-	b := &s.blocks[w.block]
-	active := bits.OnesCount32(w.activeMask)
+func (s *SMX) issueInstruction(w int) bool {
+	st := s.st
+	b := &s.blocks[st.block[w]]
+	active := bits.OnesCount32(st.activeMask[w])
 	srcOps := b.SrcOps
 	if srcOps <= 0 {
 		srcOps = s.defaultSrcOps
@@ -476,55 +572,57 @@ func (s *SMX) issueInstruction(w *Warp) bool {
 		s.stats.CtrlInstrs++
 	}
 	// Register file operand collection; conflicts stall the next issue.
-	conflicts := s.rf.CollectOperands(s.cycle, w.id, w.block*4, srcOps)
+	conflicts := s.rf.CollectOperands(s.cycle, w, int(st.block[w])*4, srcOps)
 	if conflicts > 0 {
-		w.AddStall(s.cycle, conflicts)
+		if target := s.cycle + int64(conflicts); target > st.readyCycle[w] {
+			st.readyCycle[w] = target
+		}
 	}
 
 	// Memory instructions issue first so their latency overlaps the
 	// block's ALU instructions (compilers hoist loads; the scoreboard
 	// stalls only at the use).
-	if w.memRemaining > 0 {
+	if st.memRem[w] > 0 {
 		s.issueMem(w)
-		w.memRemaining--
-	} else if w.insRemaining > 0 {
-		w.insRemaining--
+		st.memRem[w]--
+	} else if st.insRem[w] > 0 {
+		st.insRem[w]--
 	}
-	if w.insRemaining == 0 && w.memRemaining == 0 {
-		w.phase = phaseResolve
+	if st.insRem[w] == 0 && st.memRem[w] == 0 {
+		st.setPhase(w, phaseResolve)
 		// Block completion consumes the loaded data: expose whatever
 		// latency the ALU work did not cover.
-		if w.memReady > w.readyCycle {
-			w.readyCycle = w.memReady
+		if st.memReady[w] > st.readyCycle[w] {
+			st.readyCycle[w] = st.memReady[w]
 		}
-		w.memReady = 0
+		st.memReady[w] = 0
 	}
 	return true
 }
 
 // issueMem performs the coalesced memory access for memory instruction
-// slot w.memIdx of the current block.
-func (s *SMX) issueMem(w *Warp) {
-	idx := w.memIdx
-	w.memIdx++
+// slot memIdx of the warp's current block.
+func (s *SMX) issueMem(w int) {
+	st := s.st
+	idx := int(st.memIdx[w])
+	st.memIdx[w]++
 	var addrs [32]uint64
 	n := 0
 	var space memsys.Space
 	var maxBytes uint32
-	for l := 0; l < s.cfg.WarpSize; l++ {
-		if w.activeMask&(1<<uint(l)) == 0 {
-			continue
-		}
-		r := &w.res[l]
+	base := st.laneBase(w)
+	for m := st.activeMask[w]; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		r := &st.res[base+l]
 		if idx >= r.NMem {
 			continue
 		}
-		m := r.Mem[idx]
-		addrs[n] = m.Addr
+		mm := r.Mem[idx]
+		addrs[n] = mm.Addr
 		n++
-		space = m.Space
-		if m.Bytes > maxBytes {
-			maxBytes = m.Bytes
+		space = mm.Space
+		if mm.Bytes > maxBytes {
+			maxBytes = mm.Bytes
 		}
 	}
 	s.stats.MemInstrs++
@@ -533,11 +631,11 @@ func (s *SMX) issueMem(w *Warp) {
 	}
 	res := s.mem.WarpAccessEx(space, addrs[:n], maxBytes)
 	s.stats.MemTransactions += int64(res.Transactions)
-	if ready := s.cycle + int64(res.Latency); ready > w.memReady {
-		w.memReady = ready
+	if ready := s.cycle + int64(res.Latency); ready > st.memReady[w] {
+		st.memReady[w] = ready
 	}
 	if res.PendingCount > 0 {
-		w.pending = append(w.pending, memPending{
+		st.pending[w] = append(st.pending[w], memPending{
 			first:     res.PendingFirst,
 			count:     res.PendingCount,
 			missReady: s.cycle + int64(res.MissLatency),
@@ -546,49 +644,50 @@ func (s *SMX) issueMem(w *Warp) {
 }
 
 // resolve applies the divergence outcome of the finished block.
-func (s *SMX) resolve(w *Warp) {
-	mask := w.activeMask
+func (s *SMX) resolve(w int) {
+	st := s.st
+	mask := st.activeMask[w]
+	base := st.laneBase(w)
 	// Retire exiting lanes first.
 	var exitMask uint32
-	for l := 0; l < s.cfg.WarpSize; l++ {
-		if mask&(1<<uint(l)) != 0 && w.res[l].Next == BlockExit {
+	for m := mask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		if st.res[base+l].Next == BlockExit {
 			exitMask |= 1 << uint(l)
 		}
 	}
 	if exitMask != 0 {
-		s.stats.Retired += int64(w.retireLanes(exitMask))
+		s.stats.Retired += int64(st.retireLanes(w, exitMask))
 		mask &^= exitMask
 	}
-	if len(w.stack) == 0 {
+	if st.stackLen[w] == 0 {
 		s.retireWarp(w)
 		return
 	}
 	if mask == 0 {
 		// All of this block's lanes exited; resume whatever remains on
 		// the stack.
-		w.popReconverged()
-		if len(w.stack) == 0 {
+		st.popReconverged(w)
+		if st.stackLen[w] == 0 {
 			s.retireWarp(w)
 			return
 		}
-		w.block = w.stack[len(w.stack)-1].pc
-		w.phase = phaseEnter
+		st.block[w] = st.top(w).pc
+		st.setPhase(w, phaseEnter)
 		return
 	}
-	// Gather distinct targets among surviving lanes into the warp's
+	// Gather distinct targets among surviving lanes into the SMX's
 	// reusable scratch: uniq holds each target once (first-seen order),
 	// masks the lanes headed there. This runs once per completed block
 	// per warp, so it must not allocate; the distinct-target count is
 	// bounded by the warp size, making the linear dup-scan cheap.
-	lanes := w.laneBuf[:0]
-	targets := w.targetBuf[:0]
-	uniq := w.uniqBuf[:0]
-	masks := w.maskBuf[:0]
-	for l := 0; l < s.cfg.WarpSize; l++ {
-		if mask&(1<<uint(l)) == 0 {
-			continue
-		}
-		t := w.res[l].Next
+	lanes := s.laneBuf[:0]
+	targets := s.targetBuf[:0]
+	uniq := s.uniqBuf[:0]
+	masks := s.maskBuf[:0]
+	for m := mask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		t := st.res[base+l].Next
 		found := -1
 		for i, u := range uniq {
 			if u == t {
@@ -605,34 +704,34 @@ func (s *SMX) resolve(w *Warp) {
 		lanes = append(lanes, l)
 		targets = append(targets, t)
 	}
-	w.laneBuf = lanes
-	w.targetBuf = targets
-	w.uniqBuf = uniq
-	w.maskBuf = masks
+	s.laneBuf = lanes
+	s.targetBuf = targets
+	s.uniqBuf = uniq
+	s.maskBuf = masks
 
-	if s.hooks.OnBlockEnd != nil {
-		if s.hooks.OnBlockEnd(s, w.id, w.block, lanes, targets) {
-			s.recountLive()
+	if s.onBlockEndFn != nil {
+		if s.onBlockEndFn(s, w, int(st.block[w]), lanes, targets) {
+			// The hook re-formed the warp; phase transitions maintained
+			// the live counter incrementally.
 			return
 		}
 	}
-	if len(uniq) > 1 && s.hooks.OnDiverge != nil {
-		if s.hooks.OnDiverge(s, w.id, w.block, lanes, targets) {
-			s.recountLive()
+	if len(uniq) > 1 && s.onDivergeFn != nil {
+		if s.onDivergeFn(s, w, int(st.block[w]), lanes, targets) {
 			return
 		}
 	}
 
-	top := &w.stack[len(w.stack)-1]
+	top := st.top(w)
 	if len(uniq) == 1 {
-		top.pc = uniq[0]
-		w.popReconverged()
-		if len(w.stack) == 0 {
+		top.pc = int32(uniq[0])
+		st.popReconverged(w)
+		if st.stackLen[w] == 0 {
 			s.retireWarp(w)
 			return
 		}
-		w.block = w.stack[len(w.stack)-1].pc
-		w.phase = phaseEnter
+		st.block[w] = st.top(w).pc
+		st.setPhase(w, phaseEnter)
 		return
 	}
 
@@ -641,8 +740,8 @@ func (s *SMX) resolve(w *Warp) {
 	// descending block id so loops (backward targets) run first.
 	// Insertion sort over the (target, mask) pairs: the set is tiny and
 	// sort.Sort's interface boxing would allocate on this path.
-	reconv := s.blocks[w.block].Reconv
-	top.pc = reconv
+	reconv := s.blocks[st.block[w]].Reconv
+	top.pc = int32(reconv)
 	for i := 1; i < len(uniq); i++ {
 		t, m := uniq[i], masks[i]
 		j := i - 1
@@ -656,37 +755,46 @@ func (s *SMX) resolve(w *Warp) {
 		if t == reconv {
 			continue // those lanes wait at the reconvergence point
 		}
-		w.stack = append(w.stack, stackEntry{reconv: reconv, pc: t, mask: masks[i]})
+		st.push(w, stackEntry{reconv: int32(reconv), pc: int32(t), mask: masks[i]})
 	}
-	if len(w.stack) > 4*s.cfg.WarpSize {
+	if int(st.stackLen[w]) > 4*s.wsz {
 		panic(fmt.Sprintf("simt: runaway reconvergence stack (depth %d) at block %s",
-			len(w.stack), s.blocks[w.block].Name))
+			st.stackLen[w], s.blocks[st.block[w]].Name))
 	}
-	w.popReconverged()
-	w.block = w.stack[len(w.stack)-1].pc
-	w.phase = phaseEnter
+	st.popReconverged(w)
+	st.block[w] = st.top(w).pc
+	st.setPhase(w, phaseEnter)
 }
 
 // retireWarp marks a warp done and fires the hook.
-func (s *SMX) retireWarp(w *Warp) {
-	if w.phase == phaseDone {
+func (s *SMX) retireWarp(w int) {
+	if s.st.phase[w] == phaseDone {
 		return
 	}
-	w.phase = phaseDone
-	w.stack = w.stack[:0]
-	s.liveWarp--
-	if s.hooks.OnWarpDone != nil {
-		s.hooks.OnWarpDone(s, w.id)
+	s.st.setPhase(w, phaseDone)
+	s.st.stackLen[w] = 0
+	if s.onWarpDoneFn != nil {
+		s.onWarpDoneFn(s, w)
 	}
 }
 
-// RecountLive recomputes the live-warp counter after hooks have
-// launched or resumed warps.
-func (s *SMX) RecountLive() { s.recountLive() }
+// RecountLive recomputes the live-warp counter from scratch. The
+// counter is maintained incrementally by every phase transition, so
+// this is a verification aid, not a requirement after hooks launch or
+// resume warps; it remains for API compatibility and asserts in tests.
+func (s *SMX) RecountLive() {
+	live := 0
+	for _, p := range s.st.phase {
+		if p != phaseDone {
+			live++
+		}
+	}
+	s.st.live = live
+}
 
 // LiveWarps returns the number of warps that are not done (running or
 // parked).
-func (s *SMX) LiveWarps() int { return s.liveWarp }
+func (s *SMX) LiveWarps() int { return s.st.live }
 
 // InjectInstrs records `count` extra warp instructions with `active`
 // active threads each, tagged `tag`, and charges the warp the issue

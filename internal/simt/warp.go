@@ -1,145 +1,52 @@
 package simt
 
-import (
-	"math/bits"
-
-	"repro/internal/memsys"
-)
-
-// memPending is one warp memory access awaiting the epoch drain's L2
-// hit/miss outcome: requests [first, first+count) on the SMX's L2
-// port, and the ready cycle to impose if any of them missed. Pending
-// records live at most one epoch — the barrier that follows their issue
-// resolves and clears them.
-type memPending struct {
-	first     memsys.ReqID
-	count     int
-	missReady int64
-}
-
-// warpPhase tracks where a warp is in its block execution cycle.
-type warpPhase uint8
-
-const (
-	phaseEnter   warpPhase = iota // needs gate check + Step for its block
-	phaseExec                     // issuing the block's instructions
-	phaseResolve                  // block finished, divergence pending
-	phaseParked                   // suspended by an architecture hook (TBC barrier)
-	phaseDone                     // all lanes retired
-)
-
-// stackEntry is one level of the IPDOM reconvergence stack.
-type stackEntry struct {
-	reconv int    // block where this entry's threads reconverge
-	pc     int    // next block for this entry's threads
-	mask   uint32 // active lanes
-}
-
-// noReconv marks the bottom stack entry, which never pops.
-const noReconv = -2
-
-// Warp is one resident warp of an SMX.
+// Warp is one resident warp of an SMX. Since the SoA refactor it is a
+// thin view — an id plus a pointer to the SMX's struct-of-arrays store
+// (warpstate.go) — so the accessor API the architecture hooks use
+// (Slots, SetMapping, Park, Resume, ...) is unchanged while the engine
+// itself scans flat arrays. Views are created once at NewSMX and are
+// stable for the SMX's lifetime.
 type Warp struct {
-	id    int
-	phase warpPhase
-
-	// slots maps lane -> kernel context slot (-1 = empty lane).
-	slots []int32
-	stack []stackEntry
-
-	block        int
-	activeMask   uint32 // mask captured at block entry
-	insRemaining int
-	memRemaining int
-	memIdx       int
-
-	readyCycle int64
-	// memReady is when the current block's outstanding memory data
-	// arrives; loads issue early and overlap with the block's ALU
-	// instructions, so the warp only stalls on it at block completion.
-	memReady   int64
-	lastIssued int64
-
-	// pending holds this epoch's L2-bound accesses (epoch-barrier
-	// engine only); ResolveEpoch applies and clears them.
-	pending []memPending
-
-	res []StepResult // per-lane results for the current block
-
-	// scratch reused during resolve and voting; resolve gathers the
-	// distinct branch targets into uniqBuf with their lane masks in
-	// maskBuf (parallel arrays — a warp has at most warpSize distinct
-	// targets, so a linear scan beats a map and allocates nothing).
-	laneBuf   []int
-	targetBuf []int
-	uniqBuf   []int
-	maskBuf   []uint32
-	voteSlots []int32
-	voteRes   []*StepResult
+	st *warpState
+	id int
 }
 
+// newWarp builds a standalone warp backed by its own single-view store
+// (tests exercise the warp-level operations without an SMX).
 func newWarp(id, warpSize int) *Warp {
-	return &Warp{
-		id:    id,
-		slots: make([]int32, warpSize),
-		res:   make([]StepResult, warpSize),
-		phase: phaseDone,
-	}
+	return &Warp{st: newWarpState(id+1, warpSize), id: id}
 }
 
 // Launch activates the warp at the given entry block with the lane ->
 // slot mapping. Lanes with slot -1 are masked off.
 //drslint:hotpath
 func (w *Warp) Launch(entry int, slots []int32) {
-	copy(w.slots, slots)
-	var mask uint32
-	for l, s := range w.slots {
-		if s >= 0 {
-			mask |= 1 << uint(l)
-		}
-	}
-	w.stack = w.stack[:0]
-	if mask != 0 {
-		w.stack = append(w.stack, stackEntry{reconv: noReconv, pc: entry, mask: mask})
-		w.phase = phaseEnter
-	} else {
-		w.phase = phaseDone
-	}
-	w.block = entry
-	w.readyCycle = 0
-	// Remaps only happen to warps with no in-flight memory (a warp with
-	// unresolved L2 requests cannot reach a gate or divergence point
-	// before the barrier that resolves them), so this is hygiene.
-	w.pending = w.pending[:0]
+	w.st.launch(w.id, entry, slots)
 }
 
 // ID returns the warp's index within its SMX.
 func (w *Warp) ID() int { return w.id }
 
 // Done reports whether all the warp's lanes have retired.
-func (w *Warp) Done() bool { return w.phase == phaseDone }
+func (w *Warp) Done() bool { return w.st.phase[w.id] == phaseDone }
 
 // Parked reports whether the warp is suspended at a barrier.
-func (w *Warp) Parked() bool { return w.phase == phaseParked }
+func (w *Warp) Parked() bool { return w.st.phase[w.id] == phaseParked }
 
 // Block returns the warp's current block.
-func (w *Warp) Block() int { return w.block }
+func (w *Warp) Block() int { return int(w.st.block[w.id]) }
 
-// Slots returns the warp's lane -> slot mapping. The returned slice is
-// the warp's own; callers must not retain it across engine steps.
-func (w *Warp) Slots() []int32 { return w.slots }
+// Slots returns the warp's lane -> slot mapping. The returned slice
+// aliases the SMX's store; callers must not retain it across engine
+// steps.
+func (w *Warp) Slots() []int32 { return w.st.laneSlots(w.id) }
 
 // ActiveMask returns the mask of the top reconvergence stack entry, or
 // 0 if the warp is done.
-func (w *Warp) ActiveMask() uint32 {
-	if len(w.stack) == 0 {
-		return 0
-	}
-	return w.stack[len(w.stack)-1].mask
-}
+func (w *Warp) ActiveMask() uint32 { return w.st.topMask(w.id) }
 
 // StackDepth returns the current reconvergence stack depth.
-func (w *Warp) StackDepth() int { return len(w.stack) }
+func (w *Warp) StackDepth() int { return int(w.st.stackLen[w.id]) }
 
 // AddStall delays the warp's next issue by the given number of cycles
 // beyond `now` (architecture hooks use this for spawn-memory conflicts
@@ -147,8 +54,8 @@ func (w *Warp) StackDepth() int { return len(w.stack) }
 //drslint:hotpath
 func (w *Warp) AddStall(now int64, cycles int) {
 	target := now + int64(cycles)
-	if target > w.readyCycle {
-		w.readyCycle = target
+	if target > w.st.readyCycle[w.id] {
+		w.st.readyCycle[w.id] = target
 	}
 }
 
@@ -158,12 +65,12 @@ func (w *Warp) AddStall(now int64, cycles int) {
 // respawn, TBC compaction) use this to re-form the warp.
 //drslint:hotpath
 func (w *Warp) SetMapping(slots []int32, pc int) {
-	w.Launch(pc, slots)
+	w.st.launch(w.id, pc, slots)
 }
 
 // Park suspends the warp (TBC barrier). Resume with SetMapping.
 //drslint:hotpath
-func (w *Warp) Park() { w.phase = phaseParked }
+func (w *Warp) Park() { w.st.setPhase(w.id, phaseParked) }
 
 // Resume reactivates a parked (or retired) warp at block pc with a
 // fresh mapping. Retired warps may be resurrected because compaction
@@ -171,43 +78,18 @@ func (w *Warp) Park() { w.phase = phaseParked }
 // free.
 //drslint:hotpath
 func (w *Warp) Resume(slots []int32, pc int) {
-	if w.phase != phaseParked && w.phase != phaseDone {
+	if p := w.st.phase[w.id]; p != phaseParked && p != phaseDone {
 		panic("simt: Resume on a warp that is still running")
 	}
-	w.Launch(pc, slots)
+	w.st.launch(w.id, pc, slots)
 }
 
 // retireLanes removes the given lanes from every stack entry, dropping
 // entries that become empty. Returns the number of lanes retired.
 func (w *Warp) retireLanes(mask uint32) int {
-	if mask == 0 {
-		return 0
-	}
-	n := bits.OnesCount32(mask)
-	out := w.stack[:0]
-	for _, e := range w.stack {
-		e.mask &^= mask
-		if e.mask != 0 {
-			out = append(out, e)
-		}
-	}
-	w.stack = out
-	for l := range w.slots {
-		if mask&(1<<uint(l)) != 0 {
-			w.slots[l] = -1
-		}
-	}
-	return n
+	return w.st.retireLanes(w.id, mask)
 }
 
 // popReconverged pops stack entries whose pc reached their
 // reconvergence block.
-func (w *Warp) popReconverged() {
-	for len(w.stack) > 0 {
-		top := w.stack[len(w.stack)-1]
-		if top.reconv == noReconv || top.pc != top.reconv {
-			return
-		}
-		w.stack = w.stack[:len(w.stack)-1]
-	}
-}
+func (w *Warp) popReconverged() { w.st.popReconverged(w.id) }

@@ -196,7 +196,7 @@ func TestHotConeCoversPerCycleCallees(t *testing.T) {
 	for _, want := range []string{
 		"repro/internal/simt.(*SMX).issueMem",
 		"repro/internal/simt.(*SMX).resolve",
-		"repro/internal/simt.(*Warp).retireLanes",
+		"repro/internal/simt.(*warpState).retireLanes",
 		"repro/internal/memsys.(*SMXMem).WarpAccessEx",
 		"repro/internal/memsys.(*cache).access",
 		"repro/internal/memsys.(*L2Port).Reset",
