@@ -22,8 +22,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"repro/internal/archconfig"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
@@ -33,25 +35,30 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|policies|all (all = the paper artifacts; policies runs only when named)")
-		tris   = flag.Int("tris", 20000, "triangle budget per scene (0 = paper full scale)")
-		width  = flag.Int("w", 320, "trace render width")
-		height = flag.Int("h", 240, "trace render height")
-		spp    = flag.Int("spp", 1, "samples per pixel for trace generation")
-		rays   = flag.Int("rays", 0, "cap rays per bounce (0 = no cap)")
-		smx    = flag.Int("smx", 0, "SMX count override (0 = Table 1's 15)")
-		sweepB = flag.Int("sweepbounces", 4, "bounces for the fig8/table2 sweeps")
-		cmpB   = flag.Int("cmpbounces", 3, "per-bounce rows for fig10/fig11")
-		scen   = flag.String("scene", "", "restrict to one scene (conference|fairy|sponza|plants)")
-		paper  = flag.Bool("paper", false, "use paper-scale parameters (slow)")
-		asJSON = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
-		engine = flag.String("engine", "epoch", "execution engine: epoch (deterministic barrier) or free (legacy free-running)")
+		exp     = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|policies|sweeps|all (all = the paper artifacts; policies and sweeps run only when named)")
+		tris    = flag.Int("tris", 20000, "triangle budget per scene (0 = paper full scale)")
+		width   = flag.Int("w", 320, "trace render width")
+		height  = flag.Int("h", 240, "trace render height")
+		spp     = flag.Int("spp", 1, "samples per pixel for trace generation")
+		rays    = flag.Int("rays", 0, "cap rays per bounce (0 = no cap)")
+		smx     = flag.Int("smx", 0, "SMX count override (0 = Table 1's 15)")
+		sweepB  = flag.Int("sweepbounces", 4, "bounces for the fig8/table2 sweeps")
+		cmpB    = flag.Int("cmpbounces", 3, "per-bounce rows for fig10/fig11")
+		scen    = flag.String("scene", "", "restrict to one scene (conference|fairy|sponza|plants)")
+		paper   = flag.Bool("paper", false, "use paper-scale parameters (slow)")
+		asJSON  = flag.Bool("json", false, "emit raw experiment cells as JSON instead of tables")
+		engine  = flag.String("engine", "epoch", "execution engine: epoch (deterministic barrier) or free (legacy free-running)")
 		par     = flag.Int("par", 0, "experiment cell scheduler workers (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any value")
 		repeat  = flag.Int("repeat", 1, "run the selected experiments N times; exit 1 if any cell diverges between runs")
 		timeout = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = no limit); a timed-out run exits with code 3, distinct from divergence failures (1)")
 
 		policyFlag   = flag.String("policy", "", "reordering policy: restricts -exp policies to one policy, or selects the observed run's policy (see -list-policies)")
 		listPolicies = flag.Bool("list-policies", false, "print the registered reordering policies and exit")
+
+		archCfg    = flag.String("arch-config", "", "device model for every selected experiment: a builtin name (see -list-archs) or @path to a JSON config; supersedes -smx")
+		schedFlag  = flag.String("sched", "", "warp-scheduler policy for every selected experiment (see -list-scheds); empty = device default (gto)")
+		listArchs  = flag.Bool("list-archs", false, "print the builtin device models and exit")
+		listScheds = flag.Bool("list-scheds", false, "print the registered warp schedulers and exit")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on clean exit and on -timeout expiry)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit (after a final GC)")
@@ -66,6 +73,14 @@ func main() {
 
 	if *listPolicies {
 		fmt.Print(experiments.PolicyCatalog())
+		return
+	}
+	if *listArchs {
+		fmt.Print(experiments.ArchCatalog())
+		return
+	}
+	if *listScheds {
+		fmt.Print(experiments.SchedCatalog())
 		return
 	}
 
@@ -96,6 +111,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q; valid: epoch free\n", *engine)
 		os.Exit(2)
+	}
+	// The device model applies after the scalar device overrides so a
+	// named config fully determines the device; a bad name or a config
+	// the validator rejects is a usage error, reported once, here.
+	if *archCfg != "" {
+		ac, err := resolveArchConfig(*archCfg)
+		if err == nil {
+			p.Options, err = harness.ApplyArch(ac, p.Options)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drsbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *schedFlag != "" {
+		if _, err := harness.Schedulers().New(*schedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "drsbench: %v\n", err)
+			os.Exit(2)
+		}
+		p.Options.Sched = *schedFlag
 	}
 	var scenes []scene.Benchmark
 	if *scen != "" {
@@ -163,7 +198,7 @@ func main() {
 	results, cache, err := sel.run(ctx, p)
 	exitOn(err)
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead policies all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: table1 fig2 fig8 fig9 table2 fig10 fig11 overhead policies sweeps all\n", *exp)
 		os.Exit(2)
 	}
 	for _, r := range results {
@@ -235,12 +270,12 @@ type selection struct {
 }
 
 // want reports whether the named experiment was selected. "all" covers
-// the paper artifacts only; the cross-policy comparison runs when named
-// explicitly, so -exp all keeps regenerating the committed results_*.txt
-// byte for byte.
+// the paper artifacts only; the cross-policy comparison and the
+// architecture sweep run when named explicitly, so -exp all keeps
+// regenerating the committed results_*.txt byte for byte.
 func (s selection) want(name string) bool {
 	if s.exp == "all" {
-		return name != "policies"
+		return name != "policies" && name != "sweeps"
 	}
 	return s.exp == name
 }
@@ -294,6 +329,13 @@ func (s selection) run(ctx context.Context, p experiments.Params) ([]expResult, 
 			return nil, nil, err
 		}
 		out = append(out, expResult{"policies", cells, experiments.RenderPolicies(cells, s.cmpB)})
+	}
+	if s.want("sweeps") {
+		cells, err := experiments.SweepsFigureCtx(ctx, p, s.sweepB, s.scenes)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, expResult{"sweeps", cells, experiments.RenderSweeps(cells)})
 	}
 	if s.want("fig10") || s.want("fig11") {
 		cells, err := experiments.Figure10Ctx(ctx, p, s.cmpB, s.scenes)
@@ -371,4 +413,14 @@ func exitOn(err error) {
 	}
 	fmt.Fprintln(os.Stderr, "drsbench:", err)
 	os.Exit(1)
+}
+
+// resolveArchConfig maps the -arch-config flag to a device model: a
+// leading @ reads and decodes a JSON config file, anything else is a
+// builtin name (archconfig.Names / -list-archs).
+func resolveArchConfig(v string) (archconfig.Config, error) {
+	if strings.HasPrefix(v, "@") {
+		return archconfig.DecodeFile(strings.TrimPrefix(v, "@"))
+	}
+	return archconfig.Builtin(v)
 }

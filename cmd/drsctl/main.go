@@ -193,6 +193,7 @@ type specFlags struct {
 	specFile *string
 
 	kind, scen, arch, policy               *string
+	archCfg, sched                         *string
 	bounce, tris, width, height, spp, rays *int
 	bounces, sweepB, cmpB, par             *int
 	observe                                *bool
@@ -207,6 +208,8 @@ func newSpecFlags(fs *flag.FlagSet) *specFlags {
 		scen:     fs.String("scene", "conference", "benchmark scene (empty on grid jobs = all four)"),
 		arch:     fs.String("arch", "drs", "architecture for run jobs: aila|drs|dmk|tbc"),
 		policy:   fs.String("policy", "", "reordering policy for run jobs (any registered name; overrides -arch)"),
+		archCfg:  fs.String("arch-config", "", "builtin device model for the job (see drsbench -list-archs; empty = gtx780)"),
+		sched:    fs.String("sched", "", "warp-scheduler policy for the job (see drsbench -list-scheds; empty = gto)"),
 		bounce:   fs.Int("bounce", 1, "trace bounce for run jobs"),
 		tris:     fs.Int("tris", 0, "triangle budget (0 = service default)"),
 		width:    fs.Int("w", 0, "trace render width (0 = service default)"),
@@ -244,6 +247,8 @@ func (sf *specFlags) payload() []byte {
 		Scene:            *sf.scen,
 		Arch:             *sf.arch,
 		Policy:           *sf.policy,
+		ArchConfig:       *sf.archCfg,
+		Sched:            *sf.sched,
 		Bounce:           *sf.bounce,
 		Tris:             *sf.tris,
 		Width:            *sf.width,

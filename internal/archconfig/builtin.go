@@ -1,0 +1,119 @@
+package archconfig
+
+import "sync"
+
+// DefaultName is the device model every run used before configs
+// existed: the paper's Table 1 GTX780. The service folds an explicit
+// DefaultName back to "omitted" (exactly like the policy field's
+// legacy names), so pre-config job specs keep their content addresses.
+const DefaultName = "gtx780"
+
+// builtinConfigs returns the catalog in registration order: the
+// GTX780 ancestor, the four builtin architectures' historical device
+// configurations, then the modern-shaped examples. Every entry is
+// normalized and must pass Validate (the catalog test pins this);
+// testdata/archs/<name>.json at the repo root carries the same
+// configs as checked-in files, proven equal by TestCheckedInConfigs.
+func builtinConfigs() []Config {
+	gtx := Config{
+		Name:    DefaultName,
+		Summary: "paper Table 1 GeForce GTX780 (Kepler): 15 SMX, 48-warp occupancy, 1.5MB L2",
+	}.Normalized()
+
+	aila := gtx
+	aila.Name = "aila"
+	aila.Summary = "GTX780 as the aila/while-while software baseline ran it (48 warps/SMX)"
+
+	drs := gtx
+	drs.Name = "drs"
+	drs.Summary = "GTX780 as the paper's DRS runs configured it: 58 spawned warps (60 rows - 2x1 backup), 6 swap buffers"
+	// DRS derives its warp count from the row configuration
+	// (core.Config.Warps: 60 - 2*BackupRows with no extra bank); the
+	// value here documents the residency and feeds policies that accept
+	// the harness count when this device is paired with them.
+	drs.WarpsPerSMX = 58
+
+	dmk := gtx
+	dmk.Name = "dmk"
+	dmk.Summary = "GTX780 as the dynamic micro-kernel baseline ran it (48 warps/SMX)"
+
+	tbc := gtx
+	tbc.Name = "tbc"
+	tbc.Summary = "GTX780 as the thread block compaction baseline ran it (48 warps/SMX)"
+
+	// Modern-shaped devices: the question the 2017 paper could not ask.
+	// Neither models one specific product; they are "more SMXs, wider
+	// L2, deeper DRAM latency in cycles" shapes in the Accel-Sim
+	// tradition of configurable device families.
+	mid := Config{
+		Name:     "modern-mid",
+		Summary:  "modern mid-range shape: 48 SMX @ 1.5GHz, 128KB L1, 6MB L2, deeper DRAM",
+		SMXCount: 48,
+		ClockMHz: 1500,
+		L1DataKB: 128,
+		L1TexKB:  128,
+		L1Assoc:  8,
+		L2KB:     6144,
+		L1HitLat: 32,
+		L2HitLat: 188,
+		DRAMLat:  350,
+	}.Normalized()
+
+	big := Config{
+		Name:        "modern-big",
+		Summary:     "modern flagship shape: 128 SMX @ 1.8GHz, 64-warp occupancy, 24MB L2, deepest DRAM",
+		SMXCount:    128,
+		WarpsPerSMX: 64,
+		ClockMHz:    1800,
+		L1DataKB:    128,
+		L1TexKB:     128,
+		L1Assoc:     8,
+		L2KB:        24576,
+		L2Assoc:     32,
+		L1HitLat:    34,
+		L2HitLat:    200,
+		DRAMLat:     420,
+	}.Normalized()
+
+	return []Config{gtx, aila, drs, dmk, tbc, mid, big}
+}
+
+// catalog indexes the builtin configs by name once.
+var catalog = sync.OnceValue(func() map[string]Config {
+	m := make(map[string]Config)
+	for _, c := range builtinConfigs() {
+		m[c.Name] = c
+	}
+	return m
+})
+
+// catalogOrder lists the builtin names in registration order.
+var catalogOrder = sync.OnceValue(func() []string {
+	cs := builtinConfigs()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+})
+
+// Builtin returns the named builtin device model (normalized), or a
+// typed *UnknownArchError naming the valid set. It is the single place
+// an arch-config name is judged: drsbench flags, harness options and
+// service job specs all resolve through it.
+func Builtin(name string) (Config, error) {
+	c, ok := catalog()[name]
+	if !ok {
+		return Config{}, &UnknownArchError{Name: name, Known: Names()}
+	}
+	return c, nil
+}
+
+// Names returns the builtin device-model names in registration order
+// (the canonical display and iteration order).
+func Names() []string {
+	order := catalogOrder()
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}

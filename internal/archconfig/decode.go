@@ -1,0 +1,119 @@
+package archconfig
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// MaxConfigBytes bounds the JSON encoding of a device-model config.
+const MaxConfigBytes = 1 << 16
+
+// Decode parses, normalizes and validates one device-model config from
+// strict JSON. The pipeline mirrors service.DecodeSpec: oversized
+// payloads, duplicate keys (encoding/json silently keeps the last,
+// which would let two textually different configs describe one
+// device), unknown fields, trailing garbage and non-integer numbers
+// are all typed *ConfigError rejections, never panics — FuzzArchConfig
+// holds it to that. A config Decode returns always passes Validate.
+func Decode(data []byte) (Config, error) {
+	if len(data) > MaxConfigBytes {
+		return Config{}, &ConfigError{Field: "body", Reason: fmt.Sprintf("config is %d bytes; limit %d", len(data), MaxConfigBytes)}
+	}
+	if err := checkDuplicateKeys(data); err != nil {
+		return Config{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, &ConfigError{Field: decodeErrField(err), Reason: err.Error()}
+	}
+	// Reject trailing content after the config object ("{}{}" or "{} x").
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Config{}, &ConfigError{Field: "body", Reason: "trailing data after config object"}
+	}
+	c.Normalize()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// DecodeFile is Decode over a file's contents (drsbench's
+// -arch-config @path form).
+func DecodeFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, &ConfigError{Field: "body", Reason: err.Error(), Err: err}
+	}
+	return Decode(data)
+}
+
+// decodeErrField extracts the offending JSON field from an
+// encoding/json error when it names one, so a type mismatch reports
+// "warp_width: ... cannot unmarshal string" under its own field rather
+// than a generic body error.
+func decodeErrField(err error) string {
+	if te, ok := err.(*json.UnmarshalTypeError); ok && te.Field != "" {
+		return te.Field
+	}
+	return "body"
+}
+
+// checkDuplicateKeys walks the JSON token stream and rejects objects
+// that repeat a key (same walk as the service's spec decoder).
+func checkDuplicateKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	type frame struct {
+		object bool
+		seen   map[string]bool
+		isKey  bool
+	}
+	var stack []*frame
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return &ConfigError{Field: "body", Reason: err.Error()}
+		}
+		top := func() *frame {
+			if len(stack) == 0 {
+				return nil
+			}
+			return stack[len(stack)-1]
+		}
+		switch t := tok.(type) {
+		case json.Delim:
+			switch t {
+			case '{':
+				stack = append(stack, &frame{object: true, seen: make(map[string]bool), isKey: true})
+			case '[':
+				stack = append(stack, &frame{})
+			case '}', ']':
+				stack = stack[:len(stack)-1]
+				if f := top(); f != nil && f.object {
+					f.isKey = true
+				}
+			}
+		case string:
+			if f := top(); f != nil && f.object && f.isKey {
+				if f.seen[t] {
+					return &ConfigError{Field: t, Reason: fmt.Sprintf("duplicate key %q", t)}
+				}
+				f.seen[t] = true
+				f.isKey = false
+			} else if f != nil && f.object {
+				f.isKey = true
+			}
+		default:
+			if f := top(); f != nil && f.object {
+				f.isKey = true
+			}
+		}
+	}
+}

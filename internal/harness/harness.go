@@ -28,6 +28,7 @@ import (
 	"repro/internal/ser"
 	"repro/internal/simt"
 	"repro/internal/tbc"
+	"repro/internal/warpsched"
 )
 
 // Arch selects one of the four architectures Figures 10 and 11 compare.
@@ -122,6 +123,13 @@ var policies = sync.OnceValue(func() *reorder.Registry {
 // with a typed *reorder.UnknownPolicyError and nowhere else.
 func Policies() *reorder.Registry { return policies() }
 
+// Schedulers returns the registry of every built-in warp-scheduler
+// policy (gto, lrr, wasp). Like Policies it is the single judge of
+// scheduler names — drsbench flags and service job specs resolve
+// through it and an unknown name fails with a typed
+// *warpsched.UnknownSchedulerError and nowhere else.
+func Schedulers() *warpsched.Registry { return warpsched.Builtin() }
+
 // Options configures a run.
 type Options struct {
 	Simt simt.Config
@@ -146,6 +154,19 @@ type Options struct {
 	// it can hold several policies at once, so one Options can carry
 	// custom configurations across a multi-policy grid.
 	PolicyOverrides []reorder.Policy
+	// Sched names the warp-scheduler policy for the run ("gto", "lrr",
+	// "wasp"; Schedulers().Names() lists them). Empty keeps the device
+	// default — the Simt.Scheduler enum, i.e. historical GTO — which is
+	// byte-identical to an explicit "gto": both run the engine's
+	// canonical greedy-then-oldest scan. A non-empty name is resolved
+	// through the registry and devirtualized at NewSMX, overriding the
+	// legacy enum.
+	Sched string
+	// Scheduler pins the run to one configured scheduler instance
+	// (e.g. warpsched.WaSP{Runners: 4, Distance: 128}). When set, Sched
+	// must be empty or match Scheduler.Name(). Use it for non-default
+	// scheduler parameters, like Policy for reordering policies.
+	Scheduler warpsched.Scheduler
 	// SkipProgCheck disables the progcheck verification of the kernel
 	// program at build time (both the constructors' self-check and the
 	// harness's policy-capability check). Only for tests that run
@@ -224,6 +245,28 @@ func (o Options) ResolvePolicy(name string) (reorder.Policy, error) {
 	return Policies().New(name)
 }
 
+// ResolveScheduler maps the options' scheduler request to the instance
+// that will serve it: Options.Scheduler if set (Sched, when also set,
+// must match its name), else the registry default for Options.Sched,
+// else nil — meaning the legacy Simt.Scheduler enum stays in charge.
+// Unknown names fail with *warpsched.UnknownSchedulerError — the
+// registry is the only place a name is judged.
+func (o Options) ResolveScheduler() (warpsched.Scheduler, error) {
+	if o.Scheduler != nil {
+		if o.Sched != "" && o.Sched != o.Scheduler.Name() {
+			return nil, &OptionsError{
+				Field:  "Scheduler",
+				Reason: fmt.Sprintf("configured scheduler %q cannot serve a %q run", o.Scheduler.Name(), o.Sched),
+			}
+		}
+		return o.Scheduler, nil
+	}
+	if o.Sched == "" {
+		return nil, nil
+	}
+	return Schedulers().New(o.Sched)
+}
+
 // Result is a completed run.
 type Result struct {
 	// Arch is the legacy enum value for the four original
@@ -232,7 +275,10 @@ type Result struct {
 	Arch Arch
 	// Policy is the name of the reordering policy that ran.
 	Policy string
-	GPU    *simt.GPUResult
+	// Sched is the name of the warp-scheduler policy that ran ("gto"
+	// for the historical default, whether implicit or explicit).
+	Sched string
+	GPU   *simt.GPUResult
 	// Hits holds the committed hit for every input ray, in input order
 	// (stream-sorting policies map hits back through their permutation).
 	Hits []geom.Hit
@@ -358,6 +404,19 @@ func runOnce(ctx context.Context, pol reorder.Policy, rays []geom.Ray, data *ker
 	} else if opt.AilaWarps > 0 {
 		cfg.MaxWarpsPerSMX = opt.AilaWarps
 	}
+	// Resolve the warp scheduler. A requested policy is devirtualized
+	// through its factory at NewSMX; no request leaves the legacy enum
+	// (historical GTO/RR) in charge, which an explicit "gto" matches
+	// byte-for-byte — registry GTO and the enum run the same scan.
+	sched, err := opt.ResolveScheduler()
+	if err != nil {
+		return nil, err
+	}
+	schedName := cfg.Scheduler.String()
+	if sched != nil {
+		cfg.SchedFactory = sched.Factory()
+		schedName = sched.Name()
+	}
 
 	// Stream-level reordering happens before the device exists: a
 	// sorting policy permutes the whole stream, the trace runs on the
@@ -443,6 +502,7 @@ func runOnce(ctx context.Context, pol reorder.Policy, rays []geom.Ray, data *ker
 	res := &Result{
 		Arch:   archOf(name),
 		Policy: name,
+		Sched:  schedName,
 		GPU:    gpu,
 		Hits:   make([]geom.Hit, len(rays)),
 		Rays:   len(rays),

@@ -68,6 +68,21 @@ func (o Options) validateResolved(pol reorder.Policy) error {
 			Reason: fmt.Sprintf("%s configuration rejected: %v", pol.Name(), err),
 		}
 	}
+	// The warp scheduler validates like the policy: the registry judges
+	// the name (typed *warpsched.UnknownSchedulerError), the instance
+	// judges its own configuration.
+	sched, err := o.ResolveScheduler()
+	if err != nil {
+		return err
+	}
+	if sched != nil {
+		if err := sched.Validate(); err != nil {
+			return &OptionsError{
+				Field:  "Sched",
+				Reason: fmt.Sprintf("%s configuration rejected: %v", sched.Name(), err),
+			}
+		}
+	}
 	warps := pol.Warps()
 	if warps <= 0 {
 		if o.AilaWarps <= 0 {

@@ -126,6 +126,15 @@ type Caps struct {
 // each).
 const maxSrcOps = 8
 
+// MaxWarpWidth is the widest warp the verified engine supports: lane
+// activity is a uint32 mask throughout (vote, ballot, divergence,
+// retirement), and every property progcheck explores about Step
+// behavior assumes at most 32 lanes. Device-model validation
+// (internal/archconfig) cross-checks declared warp widths against this
+// cap so a config cannot describe a machine the engine would silently
+// mis-simulate.
+const MaxWarpWidth = 32
+
 // blockName formats "block 3 (leaf)" for diagnostics.
 func blockName(blocks []simt.BlockInfo, b int) string {
 	if b >= 0 && b < len(blocks) && blocks[b].Name != "" {

@@ -147,3 +147,45 @@ func TestGridJobRunsDeterministically(t *testing.T) {
 		}
 	}
 }
+
+// TestArchSchedJobRunsDeterministically: a run job on a non-default
+// device model and scheduler executes end to end and returns identical
+// bytes across two independent service instances; the artifact labels
+// the model and scheduler it ran.
+func TestArchSchedJobRunsDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation; skipped in -short")
+	}
+	const archSpec = `{"kind":"run","scene":"conference","arch":"drs","bounce":1,` +
+		`"tris":500,"width":48,"height":36,"spp":1,"arch_config":"modern-mid","sched":"wasp"}`
+	runOne := func() []byte {
+		t.Helper()
+		s := New(Config{Workers: 2, QueueDepth: 4})
+		spec, err := DecodeSpec([]byte(archSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _, err := s.Submit(spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if j.State() != StateDone {
+			_, msg := j.Artifact()
+			t.Fatalf("job state %s (%s)", j.State(), msg)
+		}
+		artifact, _ := j.Artifact()
+		return artifact
+	}
+	a, b := runOne(), runOne()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("arch/sched job diverged across instances:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"arch_config":"modern-mid"`)) || !bytes.Contains(a, []byte(`"sched":"wasp"`)) {
+		t.Fatalf("artifact does not label the device model and scheduler:\n%s", a)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/archconfig"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/scene"
@@ -12,8 +13,10 @@ import (
 
 // params maps a normalized spec onto experiment parameters, pointing
 // every job at the process-wide workload cache so identical scenes
-// build once across the daemon's lifetime.
-func (s *Service) params(spec *JobSpec) experiments.Params {
+// build once across the daemon's lifetime. The spec was validated, so
+// its device-model and scheduler names resolve; an error here means the
+// catalog changed under a persisted spec and is surfaced, not panicked.
+func (s *Service) params(spec *JobSpec) (experiments.Params, error) {
 	p := experiments.DefaultParams()
 	p.Tris = spec.Tris
 	p.Width = spec.Width
@@ -23,7 +26,20 @@ func (s *Service) params(spec *JobSpec) experiments.Params {
 	p.Bounces = spec.Bounces
 	p.Options.Parallelism = spec.Parallelism
 	p.Cache = s.cache
-	return p
+	if spec.ArchConfig != "" {
+		ac, err := archconfig.Builtin(spec.ArchConfig)
+		if err != nil {
+			return p, &SpecError{Field: "arch_config", Reason: err.Error()}
+		}
+		p.Options, err = harness.ApplyArch(ac, p.Options)
+		if err != nil {
+			return p, &SpecError{Field: "arch_config", Reason: err.Error()}
+		}
+	}
+	if spec.Sched != "" {
+		p.Options.Sched = spec.Sched
+	}
+	return p, nil
 }
 
 // scenesOf resolves a grid job's scene selection: one named benchmark,
@@ -50,6 +66,8 @@ type runArtifact struct {
 	Scene         string          `json:"scene"`
 	Arch          string          `json:"arch"`
 	Policy        string          `json:"policy,omitempty"`
+	ArchConfig    string          `json:"arch_config,omitempty"`
+	Sched         string          `json:"sched,omitempty"`
 	Bounce        int             `json:"bounce"`
 	Rays          int             `json:"rays"`
 	Cycles        int64           `json:"cycles"`
@@ -64,16 +82,21 @@ type runArtifact struct {
 // gridArtifact is the result body of a fig10 or table2 job: the raw
 // cells plus the paper-layout text renders.
 type gridArtifact struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	Cells any    `json:"cells"`
-	Text  string `json:"text"`
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	ArchConfig string `json:"arch_config,omitempty"`
+	Sched      string `json:"sched,omitempty"`
+	Cells      any    `json:"cells"`
+	Text       string `json:"text"`
 }
 
 // run is the built-in Runner: it executes a validated spec against the
 // experiment runners and encodes the deterministic result artifact.
 func (s *Service) run(ctx context.Context, spec *JobSpec, progress func(cycle, epochs int64)) ([]byte, error) {
-	p := s.params(spec)
+	p, err := s.params(spec)
+	if err != nil {
+		return nil, err
+	}
 	switch spec.Kind {
 	case KindRun:
 		return s.runSingle(ctx, spec, p, progress)
@@ -88,7 +111,7 @@ func (s *Service) run(ctx context.Context, spec *JobSpec, progress func(cycle, e
 		}
 		text := experiments.RenderFigure10(cells, spec.CmpBounces) + "\n" +
 			experiments.RenderFigure11(cells, spec.CmpBounces)
-		return marshalArtifact(gridArtifact{ID: spec.ID(), Kind: spec.Kind, Cells: cells, Text: text})
+		return marshalArtifact(gridArtifact{ID: spec.ID(), Kind: spec.Kind, ArchConfig: spec.ArchConfig, Sched: spec.Sched, Cells: cells, Text: text})
 	case KindTable2:
 		scenes, err := scenesOf(spec)
 		if err != nil {
@@ -99,7 +122,7 @@ func (s *Service) run(ctx context.Context, spec *JobSpec, progress func(cycle, e
 			return nil, err
 		}
 		return marshalArtifact(gridArtifact{
-			ID: spec.ID(), Kind: spec.Kind, Cells: cells,
+			ID: spec.ID(), Kind: spec.Kind, ArchConfig: spec.ArchConfig, Sched: spec.Sched, Cells: cells,
 			Text: experiments.RenderTable2(cells, spec.SweepBounces),
 		})
 	default:
@@ -152,6 +175,8 @@ func (s *Service) runSingle(ctx context.Context, spec *JobSpec, p experiments.Pa
 		Scene:      spec.Scene,
 		Arch:       spec.Arch,
 		Policy:     spec.Policy,
+		ArchConfig: spec.ArchConfig,
+		Sched:      spec.Sched,
 		Bounce:     spec.Bounce,
 		Rays:       res.Rays,
 		Cycles:     res.GPU.Stats.Cycles,

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/archconfig"
 	"repro/internal/harness"
 	"repro/internal/scene"
 	"repro/internal/trace"
@@ -87,6 +88,24 @@ type JobSpec struct {
 	// value that duplicates Arch, so no two distinct jobs share bytes.
 	//drslint:allow spec-hash -- omitempty is required for content-address backward compatibility; Normalize makes empty-vs-legacy-name collisions canonical, not ambiguous
 	Policy string `json:"policy,omitempty"`
+	// ArchConfig names the builtin device model the job runs on — any
+	// name in the archconfig catalog (see drsbench -list-archs). Valid
+	// on every kind. Optional: omission keeps the paper's gtx780 device,
+	// and Normalize folds an explicit "gtx780" back to empty, so every
+	// spec expressible before this field existed keeps its exact
+	// canonical encoding and content address. omitempty guarantees an
+	// absent model never appears in the preimage; the fold keeps the
+	// encoding total, so no two distinct jobs share bytes.
+	//drslint:allow spec-hash -- omitempty is required for content-address backward compatibility; Normalize folds the default model name so empty-vs-gtx780 is canonical, not ambiguous
+	ArchConfig string `json:"arch_config,omitempty"`
+	// Sched names the warp-scheduler policy — any name in the harness
+	// scheduler registry (see drsbench -list-scheds). Valid on every
+	// kind. Optional: omission keeps the device default (GTO), and
+	// Normalize folds an explicit "gto" back to empty — the registry gto
+	// is byte-identical to the historical enum scheduler, so the fold
+	// collapses two spellings of the same simulation into one address.
+	//drslint:allow spec-hash -- omitempty is required for content-address backward compatibility; Normalize folds the default scheduler name so empty-vs-gto is canonical, not ambiguous
+	Sched string `json:"sched,omitempty"`
 	// Bounce is the trace bounce a run job simulates (1-based).
 	Bounce int `json:"bounce"`
 	// Tris is the per-scene triangle budget (0 = paper full scale).
@@ -201,6 +220,18 @@ func (s *JobSpec) Normalize() {
 			s.Arch = harness.ArchDRS.String()
 		}
 	}
+	// Device-model folding, same contract as the policy fold above: the
+	// gtx780 model and the gto scheduler are exactly what every
+	// pre-field spec already ran (the builtin gtx780 config reproduces
+	// the hard-coded device byte for byte, and the registry gto is the
+	// enum scheduler devirtualized), so naming either explicitly is the
+	// same job as omitting it.
+	if s.ArchConfig == archconfig.DefaultName {
+		s.ArchConfig = ""
+	}
+	if s.Sched == "gto" {
+		s.Sched = ""
+	}
 	if s.Kind == KindTable2 && s.SweepBounces == 0 {
 		s.SweepBounces = 4
 	}
@@ -254,6 +285,18 @@ func (s *JobSpec) Validate() error {
 		return &SpecError{Field: "kind", Reason: "missing job kind; valid: run fig10 table2"}
 	default:
 		return &SpecError{Field: "kind", Reason: fmt.Sprintf("unknown kind %q; valid: run fig10 table2", s.Kind)}
+	}
+	// Both registries are the single judges of their names; the typed
+	// errors carry the known-name lists into the 400 body.
+	if s.ArchConfig != "" {
+		if _, err := archconfig.Builtin(s.ArchConfig); err != nil {
+			return &SpecError{Field: "arch_config", Reason: err.Error()}
+		}
+	}
+	if s.Sched != "" {
+		if _, err := harness.Schedulers().New(s.Sched); err != nil {
+			return &SpecError{Field: "sched", Reason: err.Error()}
+		}
 	}
 	switch {
 	case s.Tris < 0 || s.Tris > MaxTris:

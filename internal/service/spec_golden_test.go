@@ -122,3 +122,95 @@ func TestSpecPolicyRejections(t *testing.T) {
 		})
 	}
 }
+
+// TestSpecArchSchedFolding: the device-model and scheduler fields'
+// normalization rules, mirroring the policy fold. Naming the defaults
+// explicitly ("gtx780", "gto") collapses to the pre-field encoding and
+// address; genuinely new names survive and re-address.
+func TestSpecArchSchedFolding(t *testing.T) {
+	legacy, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := []string{
+		`{"kind":"run","scene":"conference","arch":"drs","arch_config":"gtx780"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","sched":"gto"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","arch_config":"gtx780","sched":"gto"}`,
+	}
+	for _, body := range folds {
+		spec, err := DecodeSpec([]byte(body))
+		if err != nil {
+			t.Errorf("%s: %v", body, err)
+			continue
+		}
+		if spec.ArchConfig != "" || spec.Sched != "" {
+			t.Errorf("%s: defaults not folded: %+v", body, spec)
+		}
+		if spec.ID() != legacy.ID() {
+			t.Errorf("%s did not fold to the pre-field address:\n got %s\nwant %s",
+				body, spec.Canonical(), legacy.Canonical())
+		}
+	}
+
+	modern, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs","arch_config":"modern-mid","sched":"wasp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modern.ID() == legacy.ID() {
+		t.Fatal("a non-default device model must change the content address")
+	}
+	if modern.ArchConfig != "modern-mid" || modern.Sched != "wasp" {
+		t.Fatalf("non-default names mangled by normalization: %+v", modern)
+	}
+	again, err := DecodeSpec(modern.Canonical())
+	if err != nil {
+		t.Fatalf("arch/sched spec canonical encoding does not re-decode: %v", err)
+	}
+	if again.ID() != modern.ID() {
+		t.Fatal("arch/sched spec address unstable across round-trip")
+	}
+
+	// The two fields address independently: sched alone and arch alone
+	// are distinct jobs.
+	schedOnly, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs","sched":"lrr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	archOnly, err := DecodeSpec([]byte(`{"kind":"run","scene":"conference","arch":"drs","arch_config":"modern-mid"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{legacy.ID(): true, modern.ID(): true, schedOnly.ID(): true, archOnly.ID(): true}
+	if len(ids) != 4 {
+		t.Fatalf("expected 4 distinct addresses, got %d", len(ids))
+	}
+}
+
+// TestSpecArchSchedRejections: the new fields' failure modes are typed
+// SpecErrors carrying each registry's judgment, on every job kind.
+func TestSpecArchSchedRejections(t *testing.T) {
+	cases := []struct {
+		name, body, field string
+	}{
+		{"unknown arch config", `{"kind":"run","scene":"conference","arch_config":"gtx1080"}`, "arch_config"},
+		{"unknown sched", `{"kind":"run","scene":"conference","sched":"fifo"}`, "sched"},
+		{"unknown sched on grid job", `{"kind":"table2","sched":"fifo"}`, "sched"},
+		{"unknown arch config on grid job", `{"kind":"fig10","arch_config":"gtx1080"}`, "arch_config"},
+		{"duplicate sched key", `{"kind":"run","scene":"conference","sched":"lrr","sched":"wasp"}`, "sched"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			se, ok := AsSpecError(err)
+			if !ok {
+				t.Fatalf("want *SpecError, got %T: %v", err, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("field = %q, want %q (%v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}

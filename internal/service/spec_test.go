@@ -126,6 +126,12 @@ func FuzzJobSpec(f *testing.F) {
 		`{"kind":"run","scene":"conference","policy":""}`,
 		`{"kind":"run","scene":"conference","policy":"sort"}`,
 		`{"kind":"run","scene":"conference","arch":"drs","policy":"drs"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","arch_config":"modern-mid","sched":"wasp"}`,
+		`{"kind":"run","scene":"conference","arch":"drs","arch_config":"gtx780","sched":"gto"}`,
+		`{"kind":"table2","arch_config":"modern-big","sched":"lrr"}`,
+		`{"kind":"run","scene":"conference","arch_config":"gtx1080"}`,
+		`{"kind":"run","scene":"conference","sched":"fifo"}`,
+		`{"kind":"run","scene":"conference","sched":"gto","sched":"lrr"}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

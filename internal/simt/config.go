@@ -82,6 +82,14 @@ type Config struct {
 	ClockMHz             int // SMX clock
 	Scheduler            SchedPolicy
 
+	// SchedFactory, when non-nil, supplies the warp-scheduler policy
+	// instead of the Scheduler enum: NewSMX calls it once per SMX and
+	// binds the returned SchedProgram's funcs directly into the issue
+	// path (see sched.go). The builtin enum policies remain available
+	// through SchedView.PickGTO/PickLRR, and a nil factory keeps the
+	// historical enum behavior bit-for-bit.
+	SchedFactory SchedFactory
+
 	Mem memsys.Config
 	RF  regfile.Config
 

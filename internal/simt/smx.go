@@ -58,7 +58,8 @@ type SMX struct {
 	onDivergeFn  func(s *SMX, warp, block int, lanes []int, targets []int) bool
 	onBlockEndFn func(s *SMX, warp, block int, lanes []int, targets []int) bool
 	onWarpDoneFn func(s *SMX, warp int)
-	schedRR      bool
+	pickFn       func(sched int) int
+	onIssueFn    func(w int)
 	nsched       int
 	wsz          int
 
@@ -116,7 +117,6 @@ func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 memsys.SharedL2) 
 		onDivergeFn:   hooks.OnDiverge,
 		onBlockEndFn:  hooks.OnBlockEnd,
 		onWarpDoneFn:  hooks.OnWarpDone,
-		schedRR:       cfg.Scheduler == SchedRR,
 		nsched:        cfg.SchedulersPerSMX,
 		wsz:           ws,
 		laneBuf:       make([]int, 0, ws),
@@ -136,6 +136,23 @@ func NewSMX(id int, cfg Config, kernel Kernel, hooks Hooks, l2 memsys.SharedL2) 
 	}
 	for i := range s.lastWarp {
 		s.lastWarp[i] = -1
+	}
+	// Bind the warp-scheduler policy: a configured factory wins, else
+	// the enum selects one of the builtin scans. Either way the cycle
+	// loop sees one direct func field — no interface dispatch, no
+	// per-pick branching on the policy kind.
+	switch {
+	case cfg.SchedFactory != nil:
+		prog := cfg.SchedFactory(SchedView{s: s})
+		if prog.Pick == nil {
+			return nil, fmt.Errorf("simt: scheduler factory returned a nil Pick func")
+		}
+		s.pickFn = prog.Pick
+		s.onIssueFn = prog.OnIssue
+	case cfg.Scheduler == SchedRR:
+		s.pickFn = s.pickRR
+	default:
+		s.pickFn = s.pickGTO
 	}
 	return s, nil
 }
@@ -361,11 +378,17 @@ func (s *SMX) step() {
 			s.stats.IssueSlotsUsed++
 			s.st.lastIssued[w] = s.cycle
 			s.lastWarp[sched] = w
+			if s.onIssueFn != nil {
+				s.onIssueFn(w)
+			}
 			for d := 1; d < s.cfg.DispatchPerScheduler; d++ {
 				if !s.issueOne(w) {
 					break
 				}
 				s.stats.IssueSlotsUsed++
+				if s.onIssueFn != nil {
+					s.onIssueFn(w)
+				}
 			}
 			break
 		}
@@ -383,12 +406,7 @@ func (s *SMX) pickWarp(sched int) int {
 	if s.schedWakeGen[sched] == s.st.wakeGen && s.cycle < s.schedWake[sched] {
 		return -1
 	}
-	var w int
-	if s.schedRR {
-		w = s.pickRR(sched)
-	} else {
-		w = s.pickGTO(sched)
-	}
+	w := s.pickFn(sched)
 	if w < 0 {
 		s.recordWake(sched)
 	}

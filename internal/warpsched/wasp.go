@@ -1,0 +1,162 @@
+package warpsched
+
+import (
+	"fmt"
+
+	"repro/internal/simt"
+)
+
+// WaSP is a distance-based prefetch-mimicking scheduler after "WaSP:
+// Warp Scheduling to Mimic Prefetching in Graphics Workloads"
+// (PAPERS.md): a few runner warps per scheduler race ahead of the
+// pack, touching BVH nodes and triangles first so their DRAM misses
+// warm the caches, and the following warps — held a configurable
+// instruction distance behind — then hit the lines the runners already
+// fetched.
+//
+// Pick order per scheduler, oldest-first (lowest warp id on ties)
+// within each tier:
+//
+//  1. issuable runners — the first Runners warps of the scheduler's
+//     stride — so the warm-up front keeps extending its lead;
+//  2. issuable followers lagging the lead runner by at least Distance
+//     issued instructions — far enough behind that the runner's
+//     accesses have landed;
+//  3. any remaining issuable follower.
+//
+// Tier 3 makes the policy soft: when only close followers can issue,
+// they issue. WaSP never idles an issue slot to enforce the distance,
+// so it cannot deadlock against gate/parking policies (DRS parks donor
+// warps for whole bounce phases; a hard-blocking scheduler would wait
+// on warps that cannot progress).
+//
+// Per-warp issue counters live in per-SMX state allocated by the
+// factory; the bound Pick/OnIssue funcs allocate nothing.
+type WaSP struct {
+	// Runners is the number of runner warps per scheduler (the warm-up
+	// front). The paper-shaped default is 2 — with 4 schedulers per
+	// SMX that is an 8-warp front per SMX.
+	Runners int
+	// Distance is the issued-instruction lead a runner must have over
+	// a follower before the follower is preferred (tier 2). Default
+	// 64, roughly the instruction footprint of one traversal+leaf
+	// round trip at the paper's block sizes.
+	Distance int64
+}
+
+// DefaultWaSP returns the default WaSP configuration (2 runners per
+// scheduler, distance 64).
+func DefaultWaSP() WaSP { return WaSP{Runners: 2, Distance: 64} }
+
+// Name implements Scheduler.
+func (WaSP) Name() string { return "wasp" }
+
+// Summary implements Scheduler.
+func (w WaSP) Summary() string {
+	return "WaSP-style prefetch mimicry: runner warps race ahead to warm caches, followers trail at a distance"
+}
+
+// Validate implements Scheduler.
+func (w WaSP) Validate() error {
+	switch {
+	case w.Runners < 1 || w.Runners > 256:
+		return fmt.Errorf("warpsched: wasp runner count %d out of range [1,256]", w.Runners)
+	case w.Distance < 1:
+		return fmt.Errorf("warpsched: wasp distance %d must be positive", w.Distance)
+	}
+	return nil
+}
+
+// Factory implements Scheduler.
+func (w WaSP) Factory() simt.SchedFactory {
+	runners, distance := w.Runners, w.Distance
+	return func(v simt.SchedView) simt.SchedProgram {
+		st := &waspState{
+			v:         v,
+			runners:   runners,
+			distance:  distance,
+			nwarps:    v.NumWarps(),
+			nsched:    v.NumSchedulers(),
+			issued:    make([]int64, v.NumWarps()),
+			runnerMax: make([]int64, v.NumSchedulers()),
+		}
+		return simt.SchedProgram{Pick: st.pick, OnIssue: st.onIssue}
+	}
+}
+
+// waspState is one SMX's WaSP instance: per-warp issue counters plus
+// the per-scheduler lead-runner watermark. Single-goroutine, like the
+// SMX that owns it.
+type waspState struct {
+	v        simt.SchedView
+	runners  int
+	distance int64
+	nwarps   int
+	nsched   int
+	// issued counts instructions issued per warp.
+	issued []int64
+	// runnerMax[sched] is the max issued count over the scheduler's
+	// runner warps — the front the distance is measured from.
+	runnerMax []int64
+}
+
+// onIssue maintains the progress counters; it runs once per issued
+// instruction and allocates nothing.
+func (st *waspState) onIssue(w int) {
+	st.issued[w]++
+	if w/st.nsched < st.runners {
+		if sched := w % st.nsched; st.issued[w] > st.runnerMax[sched] {
+			st.runnerMax[sched] = st.issued[w]
+		}
+	}
+}
+
+// pick implements the three-tier scan. Each tier walks the
+// scheduler's stride in ascending warp id, so ties break lowest-id
+// first like the builtin policies.
+func (st *waspState) pick(sched int) int {
+	v := st.v
+	// Tier 1: runners, oldest-first.
+	best := -1
+	var bestLast int64
+	firstFollower := st.nwarps
+	for k, w := 0, sched; w < st.nwarps; k, w = k+1, w+st.nsched {
+		if k >= st.runners {
+			firstFollower = w
+			break
+		}
+		if !v.Issuable(w) {
+			continue
+		}
+		if last := v.LastIssued(w); best < 0 || last < bestLast {
+			best, bestLast = w, last
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Tier 2: followers safely behind the lead runner, oldest-first.
+	lead := st.runnerMax[sched]
+	for w := firstFollower; w < st.nwarps; w += st.nsched {
+		if !v.Issuable(w) || lead-st.issued[w] < st.distance {
+			continue
+		}
+		if last := v.LastIssued(w); best < 0 || last < bestLast {
+			best, bestLast = w, last
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Tier 3: any issuable follower, oldest-first (never idle a slot
+	// to enforce the distance).
+	for w := firstFollower; w < st.nwarps; w += st.nsched {
+		if !v.Issuable(w) || lead-st.issued[w] >= st.distance {
+			continue
+		}
+		if last := v.LastIssued(w); best < 0 || last < bestLast {
+			best, bestLast = w, last
+		}
+	}
+	return best
+}

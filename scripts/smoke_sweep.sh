@@ -1,0 +1,104 @@
+#!/bin/sh
+# Reduced-scale config x scheduler sweep through drsd (DESIGN.md §14):
+#
+#   1. build drsd + drsctl,
+#   2. start the daemon and run every builtin-architecture x scheduler
+#      point as a run-job submission (one deduped job-spec family),
+#   3. SIGTERM, restart a fresh daemon, and run the identical grid
+#      again — a full recompute, since the default store is in-memory,
+#   4. byte-compare every point's result body across the two rounds
+#      (the determinism contract extended over the arch_config/sched
+#      spec fields), and assert the grid's content addresses are
+#      pairwise distinct (no two device-model points collapse).
+#
+# Plain POSIX sh + grep; no jq. Exits nonzero on any violation.
+set -eu
+
+ADDR="127.0.0.1:${DRSD_PORT:-8322}"
+ARCHS="gtx780 modern-mid modern-big"
+SCHEDS="gto lrr wasp"
+WORK=$(mktemp -d)
+DAEMON_PID=""
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/drsd" ./cmd/drsd
+go build -o "$WORK/drsctl" ./cmd/drsctl
+
+start_daemon() {
+    "$WORK/drsd" -addr "$ADDR" -workers 2 -queue 32 -drain 60s \
+        >"$WORK/drsd.$1.log" 2>&1 &
+    DAEMON_PID=$!
+    i=0
+    until "$WORK/drsctl" -addr "http://$ADDR" health >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "drsd never became healthy (round $1)" >&2
+            cat "$WORK/drsd.$1.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    kill -TERM "$DAEMON_PID"
+    if ! wait "$DAEMON_PID"; then
+        echo "drsd exited nonzero on SIGTERM (round $1)" >&2
+        cat "$WORK/drsd.$1.log" >&2
+        exit 1
+    fi
+}
+
+run_grid() {
+    round=$1
+    for arch in $ARCHS; do
+        for sched in $SCHEDS; do
+            "$WORK/drsctl" -addr "http://$ADDR" submit -wait \
+                -kind run -scene conference -arch drs -bounce 1 \
+                -tris 500 -w 48 -h 36 \
+                -arch-config "$arch" -sched "$sched" \
+                >"$WORK/body.$round.$arch.$sched" 2>"$WORK/err.$round.$arch.$sched" || {
+                echo "round $round $arch/$sched failed:" >&2
+                cat "$WORK/err.$round.$arch.$sched" >&2
+                exit 1
+            }
+            test -s "$WORK/body.$round.$arch.$sched" || {
+                echo "round $round $arch/$sched: empty result body" >&2
+                exit 1
+            }
+        done
+    done
+}
+
+echo "== round 1: $(echo $ARCHS | wc -w) archs x $(echo $SCHEDS | wc -w) schedulers"
+start_daemon 1
+run_grid 1
+stop_daemon 1
+
+echo "== round 2: fresh daemon, full recompute"
+start_daemon 2
+run_grid 2
+stop_daemon 2
+
+echo "== byte-compare rounds, collect addresses"
+: >"$WORK/ids"
+for arch in $ARCHS; do
+    for sched in $SCHEDS; do
+        cmp "$WORK/body.1.$arch.$sched" "$WORK/body.2.$arch.$sched" || {
+            echo "$arch/$sched: recompute produced different bytes" >&2
+            exit 1
+        }
+        grep -o '"id":"[0-9a-f]*"' "$WORK/body.1.$arch.$sched" | head -1 >>"$WORK/ids"
+    done
+done
+
+points=$(wc -l <"$WORK/ids")
+unique=$(sort -u "$WORK/ids" | wc -l)
+if [ "$points" != "$unique" ]; then
+    echo "grid points share content addresses ($unique unique of $points):" >&2
+    sort "$WORK/ids" >&2
+    exit 1
+fi
+
+echo "smoke_sweep: OK ($points grid points, distinct addresses, byte-identical across restart)"
